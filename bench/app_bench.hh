@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared configuration for the application benches (Figures 11/12,
+ * Tables 3/4).
+ *
+ * Scaled problems (see DESIGN.md): grids and caches are shrunk
+ * together so the workingset-to-cache regime matches the paper's
+ * Class A runs on 1 MB caches. BT and SP run on up to 64 nodes, CG
+ * and FT on up to 128, exactly as in the paper.
+ */
+
+#ifndef CENJU_BENCH_APP_BENCH_HH
+#define CENJU_BENCH_APP_BENCH_HH
+
+#include "bench/bench_util.hh"
+#include "workload/npb.hh"
+
+namespace cenju
+{
+namespace bench
+{
+
+/** Scaled secondary cache used by the application benches. */
+constexpr unsigned appCacheBytes = 8u << 10;
+
+/** Largest node count for an application (paper section 4.2.2). */
+inline unsigned
+appMaxNodes(AppKind app)
+{
+    unsigned full =
+        (app == AppKind::BT || app == AppKind::SP) ? 64 : 128;
+    return quickMode() ? std::min(full, 16u) : full;
+}
+
+/** Scaled problem for an application. */
+inline NpbConfig
+appConfig(AppKind app, bool data_mappings = true)
+{
+    NpbConfig cfg;
+    cfg.iterations = 1;
+    cfg.dataMappings = data_mappings;
+    switch (app) {
+      case AppKind::BT:
+      case AppKind::SP:
+        cfg.grid = quickMode() ? 16 : 64;
+        break;
+      case AppKind::FT:
+        cfg.grid = quickMode() ? 16 : 32;
+        break;
+      case AppKind::CG:
+        cfg.cgRows = quickMode() ? 2048 : 16384;
+        cfg.cgNnzPerRow = 8;
+        break;
+    }
+    return cfg;
+}
+
+/** Run one (app, variant) on @p nodes; returns the statistics. */
+inline RunStats
+runApp(AppKind app, Variant v, unsigned nodes, const NpbConfig &cfg)
+{
+    SystemConfig sc;
+    sc.numNodes = nodes;
+    sc.proto.cacheBytes = appCacheBytes;
+    DsmSystem sys(sc);
+    auto prog = makeNpbApp(app, v, cfg);
+    return runNpb(sys, *prog);
+}
+
+/** Sequential baseline time (1 node). */
+inline Tick
+seqTime(AppKind app, const NpbConfig &cfg)
+{
+    return runApp(app, Variant::Seq, 1, cfg).execTime;
+}
+
+} // namespace bench
+} // namespace cenju
+
+#endif // CENJU_BENCH_APP_BENCH_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benches: table
+ * formatting, directed latency probes, and scale control.
+ *
+ * Every bench prints the paper's reported numbers next to the
+ * simulated ones so EXPERIMENTS.md can quote the output verbatim.
+ * Set CENJU_QUICK=1 to shrink the expensive application benches
+ * (smaller grids / node counts) for smoke runs.
+ */
+
+#ifndef CENJU_BENCH_BENCH_UTIL_HH
+#define CENJU_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/dsm_system.hh"
+#include "memory/address_map.hh"
+
+namespace cenju
+{
+namespace bench
+{
+
+inline bool
+quickMode()
+{
+    const char *q = std::getenv("CENJU_QUICK");
+    return q && *q && *q != '0';
+}
+
+inline void
+header(const char *title)
+{
+    std::printf("\n==== %s ====\n", title);
+}
+
+/** Synchronously measure one load's latency on a quiesced system. */
+inline Tick
+loadLatency(DsmSystem &sys, NodeId n, Addr a)
+{
+    sys.eq().run();
+    Tick t0 = sys.eq().now();
+    bool done = false;
+    sys.node(n).master().load(a, [&](std::uint64_t) {
+        done = true;
+    });
+    while (!done && sys.eq().runOne()) {
+    }
+    return sys.eq().now() - t0;
+}
+
+/** Synchronously measure one store's latency. */
+inline Tick
+storeLatency(DsmSystem &sys, NodeId n, Addr a, std::uint64_t v)
+{
+    sys.eq().run();
+    Tick t0 = sys.eq().now();
+    bool done = false;
+    sys.node(n).master().store(a, v, [&] { done = true; });
+    while (!done && sys.eq().runOne()) {
+    }
+    return sys.eq().now() - t0;
+}
+
+/** Blocking store helper (setup phases). */
+inline void
+doStore(DsmSystem &sys, NodeId n, Addr a, std::uint64_t v)
+{
+    bool done = false;
+    sys.node(n).master().store(a, v, [&] { done = true; });
+    while (!done && sys.eq().runOne()) {
+    }
+}
+
+/** Blocking load helper (setup phases). */
+inline std::uint64_t
+doLoad(DsmSystem &sys, NodeId n, Addr a)
+{
+    bool done = false;
+    std::uint64_t out = 0;
+    sys.node(n).master().load(a, [&](std::uint64_t v) {
+        out = v;
+        done = true;
+    });
+    while (!done && sys.eq().runOne()) {
+    }
+    return out;
+}
+
+} // namespace bench
+} // namespace cenju
+
+#endif // CENJU_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Paper Figure 4: behaviour of imprecise node maps in a 1024-node
+ * system.
+ *
+ * Monte Carlo over random sharer sets: for k true sharers, the
+ * average number of nodes each scheme *represents* (and would
+ * therefore invalidate). Compares the paper's three structures
+ * under its "equal conditions": 32-bit coarse vector, 24-bit
+ * hierarchical bit map, 42-bit bit-pattern.
+ *
+ * (a) sharers drawn from all 1024 nodes;
+ * (b) sharers drawn from one 128-node group — the multi-user
+ *     partitioning case where the bit-pattern shines.
+ */
+
+#include <memory>
+
+#include "bench/bench_util.hh"
+#include "directory/node_map.hh"
+#include "sim/rng.hh"
+
+namespace cenju
+{
+namespace
+{
+
+constexpr unsigned numNodes = 1024;
+
+double
+averageRepresented(NodeMapKind kind, unsigned k, unsigned pool,
+                   unsigned trials, Rng &rng)
+{
+    auto map = makeNodeMap(kind, numNodes);
+    double total = 0;
+    for (unsigned t = 0; t < trials; ++t) {
+        map->clear();
+        for (auto v : rng.sampleDistinct(k, pool))
+            map->add(v);
+        total += map->representedCount(numNodes);
+    }
+    return total / trials;
+}
+
+void
+series(const char *title, unsigned pool, unsigned trials)
+{
+    std::printf("\n-- %s (sharers drawn from %u nodes, %u trials)\n",
+                title, pool, trials);
+    std::printf("%8s %12s %12s %12s %12s\n", "sharers", "coarse32",
+                "hier24", "bitpat42", "exact");
+    Rng rng(20000716 + pool);
+    for (unsigned k :
+         {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u,
+          1024u}) {
+        if (k > pool)
+            continue;
+        double c = averageRepresented(NodeMapKind::CoarseVector, k,
+                                      pool, trials, rng);
+        double h = averageRepresented(
+            NodeMapKind::HierarchicalBitmap, k, pool, trials, rng);
+        double b = averageRepresented(
+            NodeMapKind::CenjuPointerBitPattern, k, pool, trials,
+            rng);
+        std::printf("%8u %12.1f %12.1f %12.1f %12u\n", k, c, h, b,
+                    k);
+    }
+}
+
+} // namespace
+} // namespace cenju
+
+int
+main()
+{
+    using namespace cenju;
+    unsigned trials = bench::quickMode() ? 40 : 400;
+    bench::header("Figure 4: behavior of imprecise node maps "
+                  "(1024-node system)");
+    series("(a) sharers from the whole machine", numNodes, trials);
+    series("(b) sharers from a 128-node group", 128, trials);
+    std::printf("\npaper claim: the bit-pattern structure tracks "
+                "small sharer sets far more precisely, and in (b) "
+                "stays near-exact while coarse/hierarchical maps "
+                "blow up toward the full machine.\n");
+    return 0;
+}

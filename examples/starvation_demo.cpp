@@ -1,0 +1,90 @@
+/**
+ * @file
+ * starvation_demo: watch the queuing protocol (paper section 3.3)
+ * do its job. All nodes fight over one memory block; the demo
+ * prints each completed store with its wait time under both the
+ * DASH-style nack protocol and Cenju-4's queuing protocol, then
+ * the per-node fairness summary.
+ *
+ *   ./starvation_demo [nodes]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "core/dsm_system.hh"
+
+using namespace cenju;
+
+namespace
+{
+
+void
+runDemo(ProtocolKind kind, unsigned nodes)
+{
+    SystemConfig cfg;
+    cfg.numNodes = nodes;
+    cfg.proto.protocol = kind;
+    DsmSystem sys(cfg);
+    Addr hot = addr_map::makeShared(0, 0);
+
+    std::printf("\n--- %s protocol ---\n",
+                kind == ProtocolKind::Nack ? "nack" : "queuing");
+
+    std::vector<Tick> wait_total(nodes, 0);
+    std::vector<unsigned> done_count(nodes, 0);
+    const unsigned rounds = 4;
+    std::function<void(NodeId, unsigned)> kick =
+        [&](NodeId n, unsigned remaining) {
+            if (remaining == 0)
+                return;
+            Tick t0 = sys.eq().now();
+            sys.node(n).master().store(
+                hot, n, [&, n, remaining, t0] {
+                    Tick waited = sys.eq().now() - t0;
+                    wait_total[n] += waited;
+                    ++done_count[n];
+                    kick(n, remaining - 1);
+                });
+        };
+    for (NodeId n = 0; n < nodes; ++n)
+        kick(n, rounds);
+    sys.eq().run();
+
+    Tick worst = 0, best = maxTick;
+    for (NodeId n = 0; n < nodes; ++n) {
+        Tick avg = wait_total[n] / rounds;
+        worst = std::max(worst, avg);
+        best = std::min(best, avg);
+    }
+    std::printf("all %u stores completed at t=%.1f us\n",
+                nodes * rounds, sys.eq().now() / 1e3);
+    std::printf("average store wait: best node %.1f us, worst "
+                "node %.1f us (ratio %.1fx)\n",
+                best / 1e3, worst / 1e3,
+                double(worst) / std::max<Tick>(1, best));
+    std::printf("nacks sent by the home: %llu; deepest request "
+                "queue: %zu entries\n",
+                (unsigned long long)
+                    sys.node(0).home().nacksSent.value(),
+                sys.node(0).home().requestQueue().highWater());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned nodes = argc > 1 ? unsigned(std::atoi(argv[1])) : 32;
+    std::printf("%u nodes contending for one block, 4 stores "
+                "each\n", nodes);
+    runDemo(ProtocolKind::Nack, nodes);
+    runDemo(ProtocolKind::Queuing, nodes);
+    std::printf("\nthe queuing protocol trades a small FIFO in "
+                "main memory (reservation bit + 32 KB at 1024 "
+                "nodes) for guaranteed forward progress: no "
+                "retries, tighter fairness.\n");
+    return 0;
+}

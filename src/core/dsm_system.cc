@@ -1,0 +1,220 @@
+#include "core/dsm_system.hh"
+
+namespace cenju
+{
+
+DsmSystem::DsmSystem(const SystemConfig &cfg) : _cfg(cfg)
+{
+    NetConfig nc;
+    nc.numNodes = cfg.numNodes;
+    nc.stages = cfg.stages;
+    nc.xbCapacity = cfg.xbCapacity;
+    nc.stageLatency = cfg.proto.timing.networkStage;
+    nc.injectLatency = cfg.proto.timing.networkOverhead / 2;
+    nc.ejectLatency = cfg.proto.timing.networkOverhead -
+                      cfg.proto.timing.networkOverhead / 2;
+    nc.gatherMergeLatency = cfg.proto.timing.gatherMergeLatency;
+    _net = std::make_unique<Network>(_eq, nc);
+
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        _nodes.push_back(
+            std::make_unique<DsmNode>(_eq, *_net, n, cfg.proto));
+    }
+    for (NodeId n = 0; n < cfg.numNodes; ++n)
+        _engines.push_back(std::make_unique<MsgEngine>(*_nodes[n]));
+    for (NodeId n = 0; n < cfg.numNodes; ++n)
+        _syncs.push_back(std::make_unique<SyncEngine>(_engines, n));
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        _envs.push_back(std::make_unique<Env>(
+            *_nodes[n], *_engines[n], *_syncs[n]));
+    }
+    _shmBump.assign(cfg.numNodes, 0);
+    _snapshots.resize(cfg.numNodes);
+}
+
+DsmSystem::~DsmSystem() = default;
+
+ShmArray
+DsmSystem::shmAlloc(std::size_t words, Mapping map)
+{
+    unsigned n = _cfg.numNodes;
+    std::vector<Addr> bases(n, 0);
+    auto align = [](Addr a) {
+        return (a + blockBytes - 1) & ~Addr(blockBytes - 1);
+    };
+
+    switch (map.kind) {
+      case Mapping::Kind::BlockCyclicAll:
+        {
+            std::size_t blocks =
+                (words + ShmArray::wordsPerBlock - 1) /
+                ShmArray::wordsPerBlock;
+            std::size_t per_node = (blocks + n - 1) / n;
+            for (NodeId i = 0; i < n; ++i) {
+                _shmBump[i] = align(_shmBump[i]);
+                bases[i] = _shmBump[i];
+                _shmBump[i] += per_node * blockBytes;
+            }
+            break;
+        }
+      case Mapping::Kind::Blocked:
+        {
+            unsigned p = map.nodesUsed ? map.nodesUsed : n;
+            if (p > n)
+                fatal("mapping uses %u nodes on a %u-node system",
+                      p, n);
+            std::size_t chunk = (words + p - 1) / p;
+            for (NodeId i = 0; i < p; ++i) {
+                _shmBump[i] = align(_shmBump[i]);
+                bases[i] = _shmBump[i];
+                _shmBump[i] += align(chunk * 8);
+            }
+            break;
+        }
+      case Mapping::Kind::OnNode:
+        {
+            if (map.node >= n)
+                fatal("mapping on node %u of %u", map.node, n);
+            _shmBump[map.node] = align(_shmBump[map.node]);
+            bases[map.node] = _shmBump[map.node];
+            _shmBump[map.node] += align(words * 8);
+            break;
+        }
+    }
+    return ShmArray(map, words, n, std::move(bases));
+}
+
+PrivArray
+DsmSystem::privAlloc(std::size_t words)
+{
+    _privBump = (_privBump + blockBytes - 1) &
+                ~Addr(blockBytes - 1);
+    PrivArray arr{_privBump, words};
+    _privBump += ((words * 8 + blockBytes - 1) &
+                  ~Addr(blockBytes - 1));
+    return arr;
+}
+
+PrivArray
+DsmSystem::shmAllocReplicated(std::size_t words)
+{
+    PrivArray arr = privAlloc(words);
+    _cfg.proto.replicatedRanges->emplace_back(
+        arr.addrOf(0), arr.addrOf(0) + words * 8);
+    return arr;
+}
+
+void
+DsmSystem::resetStats()
+{
+    for (NodeId n = 0; n < _cfg.numNodes; ++n) {
+        MasterModule &m = _nodes[n]->master();
+        Snapshot &s = _snapshots[n];
+        s.loads = m.loads.value();
+        s.stores = m.stores.value();
+        s.hits = m.cacheHits.value();
+        s.misses = m.cacheMisses.value();
+        s.missPrivate = m.missPrivate.value();
+        s.missLocal = m.missSharedLocal.value();
+        s.missRemote = m.missSharedRemote.value();
+        s.accPrivate = m.accPrivate.value();
+        s.accLocal = m.accSharedLocal.value();
+        s.accRemote = m.accSharedRemote.value();
+
+        Env &e = *_envs[n];
+        e.instructions = 0;
+        e.memAccesses = 0;
+        e.barriers = 0;
+        e.computeTime = 0;
+        e.memTime = 0;
+        e.syncTime = 0;
+        e.commTime = 0;
+        e.finishTick = 0;
+    }
+    _runStartTick = _eq.now();
+}
+
+RunStats
+DsmSystem::collectStats() const
+{
+    RunStats r;
+    for (NodeId n = 0; n < _cfg.numNodes; ++n) {
+        const MasterModule &m = _nodes[n]->master();
+        const Snapshot &s = _snapshots[n];
+        const Env &e = *_envs[n];
+        r.instructions += e.instructions;
+        r.memAccesses += e.memAccesses;
+        r.cacheMisses += m.cacheMisses.value() - s.misses;
+        r.missPrivate += m.missPrivate.value() - s.missPrivate;
+        r.missSharedLocal +=
+            m.missSharedLocal.value() - s.missLocal;
+        r.missSharedRemote +=
+            m.missSharedRemote.value() - s.missRemote;
+        r.accPrivate += m.accPrivate.value() - s.accPrivate;
+        r.accSharedLocal += m.accSharedLocal.value() - s.accLocal;
+        r.accSharedRemote +=
+            m.accSharedRemote.value() - s.accRemote;
+        r.computeTime += e.computeTime;
+        r.memTime += e.memTime;
+        r.syncTime += e.syncTime;
+        r.commTime += e.commTime;
+        if (e.finishTick > _runStartTick)
+            r.execTime = std::max(r.execTime,
+                                  e.finishTick - _runStartTick);
+    }
+    return r;
+}
+
+RunStats
+DsmSystem::run(const std::function<Task(Env &)> &program)
+{
+    std::vector<std::function<Task(Env &)>> programs(
+        _cfg.numNodes, program);
+    return runEach(programs);
+}
+
+RunStats
+DsmSystem::runEach(
+    const std::vector<std::function<Task(Env &)>> &programs)
+{
+    if (programs.size() != _cfg.numNodes)
+        fatal("runEach: %zu programs for %u nodes",
+              programs.size(), _cfg.numNodes);
+
+    resetStats();
+    std::vector<Task> tasks;
+    tasks.reserve(_cfg.numNodes);
+    for (NodeId n = 0; n < _cfg.numNodes; ++n) {
+        tasks.push_back(programs[n](*_envs[n]));
+        tasks.back().setOnFinish(
+            [this, n] { _envs[n]->finishTick = _eq.now(); });
+    }
+
+    // Launch deterministically in node order.
+    for (NodeId n = 0; n < _cfg.numNodes; ++n)
+        _eq.scheduleAfter(0, [&tasks, n] { tasks[n].start(); });
+
+    // Drive to completion. Programs resume from event callbacks;
+    // when the queue drains every program must have finished, or
+    // the workload is deadlocked (e.g. mismatched barriers).
+    for (;;) {
+        _eq.run();
+        bool all_done = true;
+        for (NodeId n = 0; n < _cfg.numNodes; ++n) {
+            if (!tasks[n].done()) {
+                all_done = false;
+                break;
+            }
+        }
+        if (all_done)
+            break;
+        if (_eq.empty()) {
+            fatal("workload deadlock: event queue drained with "
+                  "unfinished node programs");
+        }
+    }
+
+    return collectStats();
+}
+
+} // namespace cenju

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * DsmSystem: the library's top-level public API.
+ *
+ * Builds a complete simulated Cenju-4 — N nodes, the multistage
+ * network, protocol engines, message passing — and runs SPMD
+ * coroutine programs against it:
+ *
+ * @code
+ * cenju::SystemConfig cfg;
+ * cfg.numNodes = 16;
+ * cenju::DsmSystem sys(cfg);
+ * auto x = sys.shmAlloc(1024, cenju::Mapping::blocked());
+ * sys.run([&](cenju::Env &env) -> cenju::Task {
+ *     co_await env.put(x, env.id(), 1.0);
+ *     co_await env.barrier();
+ *     double v = co_await env.get(x, (env.id() + 1) %
+ *                                        env.numNodes());
+ *     (void)v;
+ * });
+ * @endcode
+ */
+
+#ifndef CENJU_CORE_DSM_SYSTEM_HH
+#define CENJU_CORE_DSM_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/env.hh"
+#include "core/mapping.hh"
+#include "core/sync.hh"
+#include "exec/task.hh"
+#include "msgpass/msg_engine.hh"
+#include "network/network.hh"
+#include "node/dsm_node.hh"
+#include "sim/event_queue.hh"
+
+namespace cenju
+{
+
+/** Whole-system configuration. */
+struct SystemConfig
+{
+    /** Nodes (1 .. 1024). */
+    unsigned numNodes = 16;
+
+    /** Network stages (0 = the Cenju-4 size rule). */
+    unsigned stages = 0;
+
+    /** Crosspoint buffer capacity per switch. */
+    unsigned xbCapacity = 8;
+
+    /** Protocol, cache and timing parameters. */
+    ProtocolConfig proto;
+};
+
+/** Aggregated per-run execution statistics. */
+struct RunStats
+{
+    Tick execTime = 0; ///< latest node finish time
+
+    std::uint64_t instructions = 0;
+    std::uint64_t memAccesses = 0;
+
+    // memory access breakdown (all accesses)
+    std::uint64_t accPrivate = 0;
+    std::uint64_t accSharedLocal = 0;
+    std::uint64_t accSharedRemote = 0;
+
+    // secondary cache misses
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t missPrivate = 0;
+    std::uint64_t missSharedLocal = 0;
+    std::uint64_t missSharedRemote = 0;
+
+    Tick computeTime = 0; ///< summed over nodes
+    Tick memTime = 0;
+    Tick syncTime = 0;
+    Tick commTime = 0;
+
+    double
+    missRatio() const
+    {
+        return memAccesses
+            ? double(cacheMisses) / double(memAccesses)
+            : 0.0;
+    }
+
+    /** Fraction of synchronization in total node-time. */
+    double
+    syncFraction(unsigned num_nodes) const
+    {
+        double total = double(execTime) * num_nodes;
+        return total > 0 ? double(syncTime) / total : 0.0;
+    }
+};
+
+/** A complete simulated machine. */
+class DsmSystem
+{
+  public:
+    explicit DsmSystem(const SystemConfig &cfg);
+    ~DsmSystem();
+
+    DsmSystem(const DsmSystem &) = delete;
+    DsmSystem &operator=(const DsmSystem &) = delete;
+
+    /** Allocate a shared array of 64-bit words. */
+    ShmArray shmAlloc(std::size_t words, Mapping map);
+
+    /** Allocate a private array (same offset on every node). */
+    PrivArray privAlloc(std::size_t words);
+
+    /**
+     * Allocate a *replicated* array (the paper's future-work
+     * update-type protocol): every node holds a local copy in its
+     * own memory, loads are always satisfied locally, and stores
+     * multicast word updates to all replicas with in-network
+     * gathered acknowledgements. Callers must keep a single writer
+     * per element between synchronizations (owner-computes), as
+     * concurrent writers to one word may leave replicas ordered
+     * differently.
+     */
+    PrivArray shmAllocReplicated(std::size_t words);
+
+    /**
+     * Run one SPMD program: @p program is instantiated once per
+     * node and all instances execute to completion.
+     * @return wall-clock statistics for this run
+     */
+    RunStats run(const std::function<Task(Env &)> &program);
+
+    /** Run distinct programs per node (size must equal numNodes). */
+    RunStats
+    runEach(const std::vector<std::function<Task(Env &)>> &programs);
+
+    // --- component access (benches, tests) -------------------------
+
+    EventQueue &eq() { return _eq; }
+    Network &network() { return *_net; }
+    DsmNode &node(NodeId n) { return *_nodes[n]; }
+    Env &env(NodeId n) { return *_envs[n]; }
+    unsigned numNodes() const { return _cfg.numNodes; }
+    const SystemConfig &config() const { return _cfg; }
+
+    /** Reset the per-node statistics between phases. */
+    void resetStats();
+
+    /** Aggregate statistics since the last reset. */
+    RunStats collectStats() const;
+
+  private:
+    SystemConfig _cfg;
+    EventQueue _eq;
+    std::unique_ptr<Network> _net;
+    std::vector<std::unique_ptr<DsmNode>> _nodes;
+    std::vector<std::unique_ptr<MsgEngine>> _engines;
+    std::vector<std::unique_ptr<SyncEngine>> _syncs;
+    std::vector<std::unique_ptr<Env>> _envs;
+
+    /** Per-node bump allocator for the shared segment (offsets). */
+    std::vector<Addr> _shmBump;
+
+    /** Bump allocator for private offsets (same on every node). */
+    Addr _privBump = 0;
+
+    /** Counter snapshot for resetStats()/collectStats(). */
+    struct Snapshot
+    {
+        std::uint64_t loads = 0, stores = 0, hits = 0, misses = 0;
+        std::uint64_t missPrivate = 0, missLocal = 0,
+                      missRemote = 0;
+        std::uint64_t accPrivate = 0, accLocal = 0, accRemote = 0;
+    };
+    std::vector<Snapshot> _snapshots;
+    Tick _runStartTick = 0;
+};
+
+} // namespace cenju
+
+#endif // CENJU_CORE_DSM_SYSTEM_HH

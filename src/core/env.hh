@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Per-node program environment: the API workload coroutines program
+ * against.
+ *
+ * Every operation is awaitable; the coroutine suspends until the
+ * simulated machine completes it. Loads and stores go through the
+ * master module (cache + coherence protocol); compute() charges
+ * processor time; barrier()/allReduceSum() run on the message-
+ * passing layer, as the paper's shared-memory library does; and
+ * send()/recv() expose message passing directly for the mpi
+ * program variants.
+ */
+
+#ifndef CENJU_CORE_ENV_HH
+#define CENJU_CORE_ENV_HH
+
+#include <coroutine>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "core/mapping.hh"
+#include "core/sync.hh"
+#include "msgpass/msg_engine.hh"
+#include "node/dsm_node.hh"
+#include "sim/types.hh"
+
+namespace cenju
+{
+
+/** Awaitable completing via a callback with a value of type T. */
+template <typename T>
+class CallbackAwaitable
+{
+  public:
+    using Starter =
+        std::function<void(std::function<void(T)> done)>;
+
+    explicit CallbackAwaitable(Starter starter)
+        : _starter(std::move(starter))
+    {}
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        _starter([this, h](T v) {
+            _result = std::move(v);
+            h.resume();
+        });
+    }
+
+    T await_resume() { return std::move(_result); }
+
+  private:
+    Starter _starter;
+    T _result{};
+};
+
+/** Awaitable completing via a void callback. */
+class VoidAwaitable
+{
+  public:
+    using Starter = std::function<void(std::function<void()> done)>;
+
+    explicit VoidAwaitable(Starter starter)
+        : _starter(std::move(starter))
+    {}
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        _starter([h] { h.resume(); });
+    }
+
+    void await_resume() {}
+
+  private:
+    Starter _starter;
+};
+
+/** The per-node programming interface. */
+class Env
+{
+  public:
+    Env(DsmNode &node, MsgEngine &engine, SyncEngine &sync)
+        : _node(node), _engine(engine), _sync(sync)
+    {}
+
+    NodeId id() const { return _node.id(); }
+    unsigned numNodes() const { return _node.numNodes(); }
+    Tick now() const { return _node.eq().now(); }
+
+    // --- raw memory ------------------------------------------------
+
+    /** 64-bit load; counts one memory access instruction. */
+    CallbackAwaitable<std::uint64_t>
+    load(Addr a)
+    {
+        ++instructions;
+        ++memAccesses;
+        return CallbackAwaitable<std::uint64_t>(
+            [this, a](std::function<void(std::uint64_t)> done) {
+                Tick t0 = now();
+                _node.master().load(
+                    a, [this, t0,
+                        done = std::move(done)](std::uint64_t v) {
+                        memTime += now() - t0;
+                        done(v);
+                    });
+            });
+    }
+
+    /** 64-bit store; counts one memory access instruction. */
+    VoidAwaitable
+    store(Addr a, std::uint64_t v)
+    {
+        ++instructions;
+        ++memAccesses;
+        return VoidAwaitable(
+            [this, a, v](std::function<void()> done) {
+                Tick t0 = now();
+                _node.master().store(
+                    a, v, [this, t0, done = std::move(done)] {
+                        memTime += now() - t0;
+                        done();
+                    });
+            });
+    }
+
+    // --- typed shared/private array access --------------------------
+
+    /** Load element @p i of @p arr as a double. */
+    CallbackAwaitable<double>
+    get(const ShmArray &arr, std::size_t i)
+    {
+        Addr a = arr.addrOf(i);
+        ++instructions;
+        ++memAccesses;
+        return CallbackAwaitable<double>(
+            [this, a](std::function<void(double)> done) {
+                Tick t0 = now();
+                _node.master().load(
+                    a, [this, t0,
+                        done = std::move(done)](std::uint64_t v) {
+                        memTime += now() - t0;
+                        done(real(v));
+                    });
+            });
+    }
+
+    CallbackAwaitable<std::uint64_t>
+    getBits(const ShmArray &arr, std::size_t i)
+    {
+        return load(arr.addrOf(i));
+    }
+
+    VoidAwaitable
+    put(const ShmArray &arr, std::size_t i, double v)
+    {
+        return store(arr.addrOf(i), bits(v));
+    }
+
+    VoidAwaitable
+    putBits(const ShmArray &arr, std::size_t i, std::uint64_t v)
+    {
+        return store(arr.addrOf(i), v);
+    }
+
+    CallbackAwaitable<std::uint64_t>
+    loadPriv(const PrivArray &arr, std::size_t i)
+    {
+        return load(arr.addrOf(i));
+    }
+
+    /**
+     * Load element @p i of a private array as a double. The name
+     * matches the shared-array accessor deliberately: shared-memory
+     * programs read the same as private ones (the DSM transparency
+     * the paper's rewriting-ratio experiment measures).
+     */
+    CallbackAwaitable<double>
+    get(const PrivArray &arr, std::size_t i)
+    {
+        Addr a = arr.addrOf(i);
+        ++instructions;
+        ++memAccesses;
+        return CallbackAwaitable<double>(
+            [this, a](std::function<void(double)> done) {
+                Tick t0 = now();
+                _node.master().load(
+                    a, [this, t0,
+                        done = std::move(done)](std::uint64_t v) {
+                        memTime += now() - t0;
+                        done(real(v));
+                    });
+            });
+    }
+
+    VoidAwaitable
+    storePriv(const PrivArray &arr, std::size_t i, double v)
+    {
+        return store(arr.addrOf(i), bits(v));
+    }
+
+    /** Store a double into a private array (same name as shared). */
+    VoidAwaitable
+    put(const PrivArray &arr, std::size_t i, double v)
+    {
+        return store(arr.addrOf(i), bits(v));
+    }
+
+    // --- bulk (DMA) transfers ----------------------------------------
+
+    /**
+     * Read @p count words of a private array starting at @p offset
+     * as the controller's DMA engine would: coherent with the
+     * cache, one fixed setup cost, no per-word processor
+     * instructions (message payload bandwidth is charged by the
+     * message-passing layer).
+     */
+    CallbackAwaitable<std::vector<std::uint64_t>>
+    readRange(const PrivArray &arr, std::size_t offset,
+              std::size_t count)
+    {
+        return CallbackAwaitable<std::vector<std::uint64_t>>(
+            [this, arr, offset, count](
+                std::function<void(std::vector<std::uint64_t>)>
+                    done) {
+                _node.eq().scheduleAfter(
+                    dmaSetup,
+                    [this, arr, offset, count,
+                     done = std::move(done)] {
+                        std::vector<std::uint64_t> out;
+                        out.reserve(count);
+                        for (std::size_t i = 0; i < count; ++i) {
+                            Addr a = arr.addrOf(offset + i);
+                            const CacheLine *line =
+                                _node.cache().lookup(a);
+                            if (line) {
+                                out.push_back(
+                                    line->data
+                                        .w[(a & (blockBytes - 1)) /
+                                           8]);
+                            } else {
+                                out.push_back(
+                                    _node.privateMem().readWord(
+                                        addr_map::offset(a)));
+                            }
+                        }
+                        done(std::move(out));
+                    });
+            });
+    }
+
+    /**
+     * Write @p values into a private array at @p offset via DMA:
+     * memory is updated and stale cached copies are invalidated.
+     */
+    VoidAwaitable
+    writeRange(const PrivArray &arr, std::size_t offset,
+               std::vector<std::uint64_t> values)
+    {
+        return VoidAwaitable(
+            [this, arr, offset,
+             values = std::move(values)](
+                std::function<void()> done) {
+                _node.eq().scheduleAfter(
+                    dmaSetup, [this, arr, offset, values,
+                               done = std::move(done)] {
+                        for (std::size_t i = 0; i < values.size();
+                             ++i) {
+                            Addr a = arr.addrOf(offset + i);
+                            _node.privateMem().writeWord(
+                                addr_map::offset(a), values[i]);
+                            if (CacheLine *line =
+                                    _node.cache().lookup(a)) {
+                                line->state = CacheState::Invalid;
+                            }
+                        }
+                        done();
+                    });
+            });
+    }
+
+    /** DMA engine setup cost (ns). */
+    static constexpr Tick dmaSetup = 1000;
+
+    // --- computation -------------------------------------------------
+
+    /** Execute @p instrs non-memory instructions. */
+    VoidAwaitable
+    compute(std::uint64_t instrs)
+    {
+        instructions += instrs;
+        return VoidAwaitable(
+            [this, instrs](std::function<void()> done) {
+                Tick t = instrs * _node.timing().nsPerInstruction;
+                computeTime += t;
+                _node.eq().scheduleAfter(t, std::move(done));
+            });
+    }
+
+    // --- synchronization ----------------------------------------------
+
+    VoidAwaitable
+    barrier()
+    {
+        ++barriers;
+        return VoidAwaitable([this](std::function<void()> done) {
+            Tick t0 = now();
+            _sync.barrier([this, t0, done = std::move(done)] {
+                syncTime += now() - t0;
+                done();
+            });
+        });
+    }
+
+    CallbackAwaitable<double>
+    allReduceSum(double v)
+    {
+        return CallbackAwaitable<double>(
+            [this, v](std::function<void(double)> done) {
+                Tick t0 = now();
+                _sync.allReduceSum(
+                    v, [this, t0,
+                        done = std::move(done)](double total) {
+                        syncTime += now() - t0;
+                        done(total);
+                    });
+            });
+    }
+
+    // --- message passing ------------------------------------------------
+
+    /** Send; completes when the sender's processor is free. */
+    VoidAwaitable
+    send(NodeId dst, int tag, std::vector<std::uint64_t> payload,
+         unsigned bytes = 0)
+    {
+        return VoidAwaitable(
+            [this, dst, tag, payload = std::move(payload),
+             bytes](std::function<void()> done) mutable {
+                Tick t0 = now();
+                _engine.send(dst, tag, std::move(payload), bytes,
+                             [this, t0, done = std::move(done)] {
+                                 commTime += now() - t0;
+                                 done();
+                             });
+            });
+    }
+
+    CallbackAwaitable<std::vector<std::uint64_t>>
+    recv(NodeId src, int tag)
+    {
+        return CallbackAwaitable<std::vector<std::uint64_t>>(
+            [this, src,
+             tag](std::function<void(std::vector<std::uint64_t>)>
+                      done) {
+                Tick t0 = now();
+                _engine.recv(
+                    src, tag,
+                    [this, t0, done = std::move(done)](
+                        std::vector<std::uint64_t> p) {
+                        commTime += now() - t0;
+                        done(std::move(p));
+                    });
+            });
+    }
+
+    // --- double <-> bits helpers ------------------------------------
+
+    static std::uint64_t
+    bits(double v)
+    {
+        std::uint64_t b;
+        std::memcpy(&b, &v, sizeof(b));
+        return b;
+    }
+
+    static double
+    real(std::uint64_t b)
+    {
+        double v;
+        std::memcpy(&v, &b, sizeof(v));
+        return v;
+    }
+
+    // --- per-node accounting (aggregated into Tables 3/4) -----------
+
+    std::uint64_t instructions = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t barriers = 0;
+    Tick computeTime = 0;
+    Tick memTime = 0;
+    Tick syncTime = 0;
+    Tick commTime = 0;
+    Tick finishTick = 0;
+
+  private:
+    DsmNode &_node;
+    MsgEngine &_engine;
+    SyncEngine &_sync;
+};
+
+} // namespace cenju
+
+#endif // CENJU_CORE_ENV_HH

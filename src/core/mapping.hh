@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Shared-memory data mappings (paper section 4.2.1).
+ *
+ * The Cenju-4 shared-memory library lets a program specify how a
+ * shared array is distributed over node memories. The paper's
+ * dsm(1)/dsm(2) programs "specify data mappings ... to localize
+ * memory accesses"; the dagger variants remove the mapping code.
+ * We model:
+ *  - BlockCyclicAll: 128-byte blocks dealt round-robin over all
+ *    nodes — the default placement used when no mapping is given
+ *    (every node's accesses are ~(N-1)/N remote);
+ *  - Blocked: contiguous chunks, element i owned by node
+ *    i / ceil(n/P) — the owner-computes mapping;
+ *  - OnNode: the whole array in one node's memory.
+ */
+
+#ifndef CENJU_CORE_MAPPING_HH
+#define CENJU_CORE_MAPPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/address_map.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cenju
+{
+
+/** Distribution of a shared array over node memories. */
+struct Mapping
+{
+    enum class Kind
+    {
+        BlockCyclicAll,
+        Blocked,
+        OnNode,
+    };
+
+    Kind kind = Kind::BlockCyclicAll;
+    NodeId node = 0;       ///< OnNode: the owner
+    unsigned nodesUsed = 0; ///< Blocked: owners (0 = all nodes)
+
+    static Mapping
+    blockCyclic()
+    {
+        return Mapping{Kind::BlockCyclicAll, 0, 0};
+    }
+
+    static Mapping
+    blocked(unsigned nodes_used = 0)
+    {
+        return Mapping{Kind::Blocked, 0, nodes_used};
+    }
+
+    static Mapping
+    onNode(NodeId n)
+    {
+        return Mapping{Kind::OnNode, n, 0};
+    }
+};
+
+/**
+ * Handle to an allocated shared array of 64-bit words. Produced by
+ * DsmSystem::shmAlloc(); translates element indices to physical
+ * shared addresses according to the mapping.
+ */
+class ShmArray
+{
+  public:
+    ShmArray() = default;
+
+    /**
+     * @param map distribution
+     * @param words element count
+     * @param num_nodes system size
+     * @param bases per-node base offset of this array's local part
+     */
+    ShmArray(Mapping map, std::size_t words, unsigned num_nodes,
+             std::vector<Addr> bases)
+        : _map(map), _n(words), _numNodes(num_nodes),
+          _bases(std::move(bases))
+    {
+        if (_map.kind == Mapping::Kind::Blocked) {
+            unsigned p = _map.nodesUsed ? _map.nodesUsed : num_nodes;
+            _chunk = (_n + p - 1) / p;
+            if (_chunk == 0)
+                _chunk = 1;
+        }
+    }
+
+    std::size_t size() const { return _n; }
+
+    /** Node whose memory holds element @p i. */
+    NodeId
+    ownerOf(std::size_t i) const
+    {
+        switch (_map.kind) {
+          case Mapping::Kind::BlockCyclicAll:
+            return static_cast<NodeId>((i / wordsPerBlock) %
+                                       _numNodes);
+          case Mapping::Kind::Blocked:
+            return static_cast<NodeId>(i / _chunk);
+          case Mapping::Kind::OnNode:
+            return _map.node;
+        }
+        return 0;
+    }
+
+    /** Physical shared address of element @p i. */
+    Addr
+    addrOf(std::size_t i) const
+    {
+        if (i >= _n)
+            panic("ShmArray: index %zu out of %zu", i, _n);
+        switch (_map.kind) {
+          case Mapping::Kind::BlockCyclicAll:
+            {
+                std::size_t blk = i / wordsPerBlock;
+                NodeId owner =
+                    static_cast<NodeId>(blk % _numNodes);
+                std::size_t local_blk = blk / _numNodes;
+                return addr_map::makeShared(
+                    owner, _bases[owner] + local_blk * blockBytes +
+                               (i % wordsPerBlock) * 8);
+            }
+          case Mapping::Kind::Blocked:
+            {
+                NodeId owner = ownerOf(i);
+                std::size_t local = i % _chunk;
+                return addr_map::makeShared(
+                    owner, _bases[owner] + local * 8);
+            }
+          case Mapping::Kind::OnNode:
+            return addr_map::makeShared(_map.node,
+                                        _bases[_map.node] + i * 8);
+        }
+        return 0;
+    }
+
+    const Mapping &mapping() const { return _map; }
+
+    static constexpr std::size_t wordsPerBlock = blockBytes / 8;
+
+  private:
+    Mapping _map;
+    std::size_t _n = 0;
+    unsigned _numNodes = 1;
+    std::size_t _chunk = 1;
+    std::vector<Addr> _bases;
+};
+
+/**
+ * Handle to a per-node private array: the same offset is allocated
+ * in every node's private memory, so SPMD programs share the handle
+ * while each node touches only its own copy.
+ */
+struct PrivArray
+{
+    Addr base = 0;
+    std::size_t words = 0;
+
+    Addr
+    addrOf(std::size_t i) const
+    {
+        if (i >= words)
+            panic("PrivArray: index %zu out of %zu", i, words);
+        return addr_map::makePrivate(base + i * 8);
+    }
+};
+
+} // namespace cenju
+
+#endif // CENJU_CORE_MAPPING_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Synchronization and reduction over message passing.
+ *
+ * The paper's shared-memory programs "use MPI library for
+ * performing synchronization and reduction operations"; we do the
+ * same: barriers and all-reduces run as binary-tree exchanges on
+ * the MsgEngine layer, so their cost scales as
+ * O(log N x message latency) and is charged to the calling node as
+ * synchronization time (Table 4's sync column).
+ */
+
+#ifndef CENJU_CORE_SYNC_HH
+#define CENJU_CORE_SYNC_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "msgpass/msg_engine.hh"
+#include "sim/types.hh"
+
+namespace cenju
+{
+
+/** Per-node barrier/reduction engine (binary combining tree). */
+class SyncEngine
+{
+  public:
+    /**
+     * @param engines one MsgEngine per node (shared by all
+     *        SyncEngine instances)
+     * @param id this node
+     */
+    SyncEngine(std::vector<std::unique_ptr<MsgEngine>> &engines,
+               NodeId id)
+        : _engines(engines), _id(id)
+    {}
+
+    /** Join the @p generation-th barrier; @p done when released. */
+    void
+    barrier(std::function<void()> done)
+    {
+        int gen = _barrierGen++;
+        reduceImpl(gen, 0.0, tagBarrier,
+                   [done = std::move(done)](double) { done(); });
+    }
+
+    /** Global sum; every node receives the total. */
+    void
+    allReduceSum(double value, std::function<void(double)> done)
+    {
+        int gen = _reduceGen++;
+        reduceImpl(gen, value, tagReduce, std::move(done));
+    }
+
+  private:
+    static constexpr int tagBarrier = 1 << 24;
+    static constexpr int tagReduce = 2 << 24;
+
+    unsigned
+    numNodes() const
+    {
+        return static_cast<unsigned>(_engines.size());
+    }
+
+    MsgEngine &engine() { return *_engines[_id]; }
+
+    /**
+     * Binary-tree combine toward node 0, then broadcast the result
+     * down. Tags encode the primitive and generation so successive
+     * operations never cross-match.
+     */
+    void
+    reduceImpl(int gen, double value, int tag_base,
+               std::function<void(double)> done)
+    {
+        unsigned n = numNodes();
+        NodeId left = 2 * _id + 1;
+        NodeId right = 2 * _id + 2;
+        int up_tag = tag_base + 2 * gen;
+        int down_tag = tag_base + 2 * gen + 1;
+
+        auto state = std::make_shared<CombineState>();
+        state->value = value;
+        state->pendingChildren = (left < n) + (right < n);
+        state->done = std::move(done);
+
+        auto proceed = [this, state, up_tag, down_tag] {
+            if (state->pendingChildren > 0)
+                return;
+            if (_id == 0) {
+                broadcastDown(state->value, down_tag);
+                state->done(state->value);
+                return;
+            }
+            NodeId parent = (_id - 1) / 2;
+            engine().send(
+                parent, up_tag, {bits(state->value)}, 8,
+                [this, state, down_tag] {
+                    // Wait for the broadcast result.
+                    NodeId parent2 = (_id - 1) / 2;
+                    engine().recv(
+                        parent2, down_tag,
+                        [this, state, down_tag](
+                            std::vector<std::uint64_t> payload) {
+                            double total = value_of(payload[0]);
+                            broadcastDown(total, down_tag);
+                            state->done(total);
+                        });
+                });
+        };
+
+        for (NodeId child : {left, right}) {
+            if (child >= n)
+                continue;
+            engine().recv(
+                child, up_tag,
+                [state, proceed](std::vector<std::uint64_t> p) {
+                    state->value += value_of(p[0]);
+                    --state->pendingChildren;
+                    proceed();
+                });
+        }
+        proceed();
+    }
+
+    void
+    broadcastDown(double total, int down_tag)
+    {
+        unsigned n = numNodes();
+        for (NodeId child : {2 * _id + 1, 2 * _id + 2}) {
+            if (child < n) {
+                engine().send(child, down_tag, {bits(total)}, 8,
+                              [] {});
+            }
+        }
+    }
+
+    static std::uint64_t
+    bits(double v)
+    {
+        std::uint64_t b;
+        static_assert(sizeof(b) == sizeof(v));
+        __builtin_memcpy(&b, &v, sizeof(b));
+        return b;
+    }
+
+    static double
+    value_of(std::uint64_t b)
+    {
+        double v;
+        __builtin_memcpy(&v, &b, sizeof(v));
+        return v;
+    }
+
+    struct CombineState
+    {
+        double value = 0.0;
+        int pendingChildren = 0;
+        std::function<void(double)> done;
+    };
+
+    std::vector<std::unique_ptr<MsgEngine>> &_engines;
+    NodeId _id;
+    int _barrierGen = 0;
+    int _reduceGen = 0;
+};
+
+} // namespace cenju
+
+#endif // CENJU_CORE_SYNC_HH

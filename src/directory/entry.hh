@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Directory entry: per-128-byte-block coherence metadata (paper
+ * Figure 2 and section 3.3).
+ *
+ * One entry holds a reservation bit (the queuing protocol's "a
+ * request is parked at the head of the memory queue for this block"
+ * marker), the memory block state, and the node map. Cenju-4 packs
+ * the whole entry into 64 bits so the directory occupies 1/16 of
+ * main memory independent of system size; packEntry()/unpackEntry()
+ * implement that layout for the Cenju scheme, while the simulator's
+ * working representation is this object.
+ */
+
+#ifndef CENJU_DIRECTORY_ENTRY_HH
+#define CENJU_DIRECTORY_ENTRY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "directory/cenju_node_map.hh"
+#include "directory/node_map.hh"
+
+namespace cenju
+{
+
+/**
+ * Memory block states (paper appendix): two stable states and three
+ * pending states used while the home waits for a reply.
+ */
+enum class MemState : std::uint8_t
+{
+    Clean,            ///< C^m: memory valid; node map lists sharers
+    Dirty,            ///< D^m: one owner; memory may be stale
+    PendingShared,    ///< Ps^m: read-shared forwarded to the owner
+    PendingExclusive, ///< Pe^m: read-exclusive in flight
+    PendingInvalidate ///< Pi^m: ownership (upgrade) in flight
+};
+
+/** True for the Ps/Pe/Pi states. */
+constexpr bool
+isPending(MemState s)
+{
+    return s == MemState::PendingShared ||
+           s == MemState::PendingExclusive ||
+           s == MemState::PendingInvalidate;
+}
+
+/** Printable state name. */
+const char *memStateName(MemState s);
+
+/** Working form of one directory entry. */
+class DirectoryEntry
+{
+  public:
+    /** Entry for a freshly allocated block: clean, no sharers. */
+    explicit DirectoryEntry(std::unique_ptr<NodeMap> map)
+        : _map(std::move(map))
+    {}
+
+    MemState state() const { return _state; }
+    void setState(MemState s) { _state = s; }
+
+    bool reservation() const { return _reservation; }
+    void setReservation(bool r) { _reservation = r; }
+
+    NodeMap &map() { return *_map; }
+    const NodeMap &map() const { return *_map; }
+
+  private:
+    MemState _state = MemState::Clean;
+    bool _reservation = false;
+    std::unique_ptr<NodeMap> _map;
+};
+
+/**
+ * Pack a Cenju-scheme entry into the 64-bit hardware layout:
+ * bit 63 reservation, bits [62:60] state, bit 59 reserved-zero,
+ * bits [58:0] node map (see CenjuNodeMap::pack()).
+ */
+std::uint64_t packEntry(MemState state, bool reservation,
+                        const CenjuNodeMap &map);
+
+/** Unpacked view of a 64-bit entry. */
+struct UnpackedEntry
+{
+    MemState state;
+    bool reservation;
+    CenjuNodeMap map;
+};
+
+/** Inverse of packEntry(). */
+UnpackedEntry unpackEntry(std::uint64_t raw);
+
+} // namespace cenju
+
+#endif // CENJU_DIRECTORY_ENTRY_HH

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Dense set of node identifiers.
+ *
+ * Used throughout the simulator: as the ground-truth sharer set in
+ * directory experiments, as the decoded destination set of a
+ * multicast, and as reachability sets inside network switches. The
+ * capacity is fixed at construction (up to 4096 to cover padded
+ * 6-stage networks).
+ */
+
+#ifndef CENJU_DIRECTORY_NODE_SET_HH
+#define CENJU_DIRECTORY_NODE_SET_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cenju
+{
+
+/** Fixed-capacity bitset keyed by NodeId. */
+class NodeSet
+{
+  public:
+    /** Empty set able to hold ids in [0, capacity). */
+    explicit NodeSet(unsigned capacity = maxNodes)
+        : _capacity(capacity), _words((capacity + 63) / 64, 0)
+    {}
+
+    unsigned capacity() const { return _capacity; }
+
+    void
+    insert(NodeId n)
+    {
+        check(n);
+        _words[n >> 6] |= 1ull << (n & 63);
+    }
+
+    void
+    erase(NodeId n)
+    {
+        check(n);
+        _words[n >> 6] &= ~(1ull << (n & 63));
+    }
+
+    bool
+    contains(NodeId n) const
+    {
+        if (n >= _capacity)
+            return false;
+        return (_words[n >> 6] >> (n & 63)) & 1;
+    }
+
+    void
+    clear()
+    {
+        for (auto &w : _words)
+            w = 0;
+    }
+
+    bool
+    empty() const
+    {
+        for (auto w : _words) {
+            if (w)
+                return false;
+        }
+        return true;
+    }
+
+    /** Number of members. */
+    unsigned
+    count() const
+    {
+        unsigned c = 0;
+        for (auto w : _words)
+            c += static_cast<unsigned>(std::popcount(w));
+        return c;
+    }
+
+    /** True if the two sets share at least one member. */
+    bool
+    intersects(const NodeSet &o) const
+    {
+        std::size_t n = std::min(_words.size(), o._words.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            if (_words[i] & o._words[i])
+                return true;
+        }
+        return false;
+    }
+
+    /** True if every member of this set is also in @p o. */
+    bool
+    subsetOf(const NodeSet &o) const
+    {
+        for (std::size_t i = 0; i < _words.size(); ++i) {
+            std::uint64_t ow =
+                i < o._words.size() ? o._words[i] : 0;
+            if (_words[i] & ~ow)
+                return false;
+        }
+        return true;
+    }
+
+    NodeSet &
+    operator|=(const NodeSet &o)
+    {
+        std::size_t n = std::min(_words.size(), o._words.size());
+        for (std::size_t i = 0; i < n; ++i)
+            _words[i] |= o._words[i];
+        return *this;
+    }
+
+    NodeSet &
+    operator&=(const NodeSet &o)
+    {
+        for (std::size_t i = 0; i < _words.size(); ++i)
+            _words[i] &= i < o._words.size() ? o._words[i] : 0;
+        return *this;
+    }
+
+    bool
+    operator==(const NodeSet &o) const
+    {
+        std::size_t n = std::max(_words.size(), o._words.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t a = i < _words.size() ? _words[i] : 0;
+            std::uint64_t b = i < o._words.size() ? o._words[i] : 0;
+            if (a != b)
+                return false;
+        }
+        return true;
+    }
+
+    /** Members in ascending order. */
+    std::vector<NodeId>
+    toVector() const
+    {
+        std::vector<NodeId> v;
+        v.reserve(count());
+        forEach([&v](NodeId n) { v.push_back(n); });
+        return v;
+    }
+
+    /** Call @p fn for each member in ascending order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < _words.size(); ++i) {
+            std::uint64_t w = _words[i];
+            while (w) {
+                unsigned b = std::countr_zero(w);
+                fn(static_cast<NodeId>(i * 64 + b));
+                w &= w - 1;
+            }
+        }
+    }
+
+    /** Lowest member, or invalidNode if empty. */
+    NodeId
+    first() const
+    {
+        for (std::size_t i = 0; i < _words.size(); ++i) {
+            if (_words[i]) {
+                return static_cast<NodeId>(
+                    i * 64 + std::countr_zero(_words[i]));
+            }
+        }
+        return invalidNode;
+    }
+
+  private:
+    void
+    check(NodeId n) const
+    {
+        if (n >= _capacity)
+            panic("NodeSet: id %u out of capacity %u", n, _capacity);
+    }
+
+    unsigned _capacity;
+    std::vector<std::uint64_t> _words;
+};
+
+} // namespace cenju
+
+#endif // CENJU_DIRECTORY_NODE_SET_HH

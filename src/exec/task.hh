@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Coroutine task type for node programs.
+ *
+ * Workloads are written as straight-line C++20 coroutines — one per
+ * node — that co_await memory, compute and synchronization
+ * operations on an Env. The simulator resumes a program whenever
+ * its pending operation completes, so program code reads like the
+ * source of a real parallel application while executing against the
+ * simulated machine ("direct execution").
+ */
+
+#ifndef CENJU_EXEC_TASK_HH
+#define CENJU_EXEC_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cenju
+{
+
+/** A node program: fire-and-forget coroutine with a done flag. */
+class Task
+{
+  public:
+    struct promise_type
+    {
+        bool finished = false;
+
+        /** Fired once when the program runs to completion. */
+        std::function<void()> onFinish;
+
+        Task
+        get_return_object()
+        {
+            return Task(std::coroutine_handle<
+                        promise_type>::from_promise(*this));
+        }
+
+        /** Suspend at start: the system launches programs. */
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        /** Suspend at end so the frame survives for done-checks. */
+        std::suspend_always
+        final_suspend() noexcept
+        {
+            finished = true;
+            if (onFinish)
+                onFinish();
+            return {};
+        }
+
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            // Programs run inside the event loop; an escaping
+            // exception is a workload bug.
+            panic("unhandled exception in node program");
+        }
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) : _h(h) {}
+
+    Task(Task &&o) noexcept : _h(std::exchange(o._h, nullptr)) {}
+
+    Task &
+    operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            _h = std::exchange(o._h, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** Begin (or continue) execution. */
+    void
+    start()
+    {
+        if (_h && !_h.done())
+            _h.resume();
+    }
+
+    /** True once the program ran to completion. */
+    bool
+    done() const
+    {
+        return _h && _h.promise().finished;
+    }
+
+    /** Register a completion hook (fires at co_return). */
+    void
+    setOnFinish(std::function<void()> fn)
+    {
+        if (_h)
+            _h.promise().onFinish = std::move(fn);
+    }
+
+    bool valid() const { return static_cast<bool>(_h); }
+
+  private:
+    void
+    destroy()
+    {
+        if (_h) {
+            _h.destroy();
+            _h = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> _h;
+};
+
+} // namespace cenju
+
+#endif // CENJU_EXEC_TASK_HH

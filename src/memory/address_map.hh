@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cenju-4 physical address map (paper section 2).
+ *
+ * 40-bit physical addresses. The MSB (bit 39) distinguishes shared
+ * (DSM) from private access. Private accesses use 29 offset bits
+ * into the local memory. Shared accesses use 10 bits [38:29] as the
+ * home node number and 29 bits [28:0] as the offset into that
+ * node's memory.
+ */
+
+#ifndef CENJU_MEMORY_ADDRESS_MAP_HH
+#define CENJU_MEMORY_ADDRESS_MAP_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cenju
+{
+
+/** Address construction and decoding helpers. */
+namespace addr_map
+{
+
+constexpr Addr sharedBit = Addr(1) << sharedSelectBit;
+constexpr Addr offsetMask = (Addr(1) << sharedOffsetBits) - 1;
+
+/** Private address with local offset @p offset. */
+constexpr Addr
+makePrivate(Addr offset)
+{
+    return offset & offsetMask;
+}
+
+/** Shared (DSM) address homed at @p node with @p offset. */
+constexpr Addr
+makeShared(NodeId node, Addr offset)
+{
+    return sharedBit |
+           (Addr(node & (maxNodes - 1)) << sharedOffsetBits) |
+           (offset & offsetMask);
+}
+
+/** True if @p a selects the DSM path. */
+constexpr bool
+isShared(Addr a)
+{
+    return (a & sharedBit) != 0;
+}
+
+/** Home node of a shared address. */
+constexpr NodeId
+homeNode(Addr a)
+{
+    return static_cast<NodeId>((a >> sharedOffsetBits) &
+                               (maxNodes - 1));
+}
+
+/** Offset within the (private or home) memory. */
+constexpr Addr
+offset(Addr a)
+{
+    return a & offsetMask;
+}
+
+/** Block-aligned offset within the memory. */
+constexpr Addr
+blockOffset(Addr a)
+{
+    return offset(a) & ~Addr(blockBytes - 1);
+}
+
+/** Local block number of an address (offset / blockBytes). */
+constexpr std::uint64_t
+localBlock(Addr a)
+{
+    return offset(a) >> blockShift;
+}
+
+} // namespace addr_map
+
+} // namespace cenju
+
+#endif // CENJU_MEMORY_ADDRESS_MAP_HH

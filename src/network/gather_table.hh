@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-switch gather table (paper section 3.2, Figure 5b).
+ *
+ * Each switch records, per 10-bit gather identifier, a 4-bit wait
+ * pattern: the input ports from which gathered replies are still
+ * expected. The first reply of a gather activates the entry with the
+ * computed pattern; every reply clears its own input bit; only the
+ * reply that clears the last bit is forwarded. The real switch
+ * dedicates 3.6% of its gates to a 1024-entry table.
+ */
+
+#ifndef CENJU_NETWORK_GATHER_TABLE_HH
+#define CENJU_NETWORK_GATHER_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace cenju
+{
+
+/** Wait-pattern table indexed by gather identifier. */
+class GatherTable
+{
+  public:
+    explicit GatherTable(unsigned entries) : _entries(entries) {}
+
+    /** Outcome of absorbing one gathered reply. */
+    enum class Result
+    {
+        Absorbed, ///< more replies expected; message removed
+        Forward   ///< last reply: forward it and free the entry
+    };
+
+    /**
+     * Absorb a gathered reply arriving on @p in_port.
+     * @param id gather identifier
+     * @param in_port switch input the reply arrived on (0..3)
+     * @param full_pattern wait pattern for this gather at this
+     *        switch, used if the entry is not yet active
+     */
+    Result
+    absorb(std::uint16_t id, unsigned in_port,
+           std::uint8_t full_pattern)
+    {
+        if (id >= _entries.size())
+            panic("gather id %u exceeds table size", id);
+        Entry &e = _entries[id];
+        std::uint8_t bit = static_cast<std::uint8_t>(1u << in_port);
+        if (!e.active) {
+            if (!(full_pattern & bit)) {
+                panic("gather %u: arrival on port %u not in wait "
+                      "pattern 0x%x", id, in_port, full_pattern);
+            }
+            e.active = true;
+            e.waitPattern = full_pattern;
+        } else if (!(e.waitPattern & bit)) {
+            panic("gather %u: duplicate arrival on port %u", id,
+                  in_port);
+        }
+        e.waitPattern = static_cast<std::uint8_t>(e.waitPattern & ~bit);
+        if (e.waitPattern == 0) {
+            e.active = false;
+            return Result::Forward;
+        }
+        return Result::Absorbed;
+    }
+
+    /** True if the entry for @p id is mid-gather. */
+    bool
+    active(std::uint16_t id) const
+    {
+        return id < _entries.size() && _entries[id].active;
+    }
+
+    /** Number of currently active entries (for tests/stats). */
+    unsigned
+    activeCount() const
+    {
+        unsigned n = 0;
+        for (const Entry &e : _entries)
+            n += e.active;
+        return n;
+    }
+
+    unsigned size() const { return unsigned(_entries.size()); }
+
+  private:
+    struct Entry
+    {
+        bool active = false;
+        std::uint8_t waitPattern = 0;
+    };
+
+    std::vector<Entry> _entries;
+};
+
+} // namespace cenju
+
+#endif // CENJU_NETWORK_GATHER_TABLE_HH

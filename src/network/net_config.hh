@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Network configuration parameters.
+ */
+
+#ifndef CENJU_NETWORK_NET_CONFIG_HH
+#define CENJU_NETWORK_NET_CONFIG_HH
+
+#include "sim/types.hh"
+
+namespace cenju
+{
+
+/** Static parameters of one network instance. */
+struct NetConfig
+{
+    /** Real endpoints. */
+    unsigned numNodes = 16;
+
+    /** Switch stages; 0 derives the Cenju-4 default from numNodes. */
+    unsigned stages = 0;
+
+    /** Capacity of each crosspoint buffer, in packets. */
+    unsigned xbCapacity = 8;
+
+    /** Per-node injection queue capacity, in packets. */
+    unsigned injectQueueCapacity = 4;
+
+    /** Header latency through one switch stage (ns). */
+    Tick stageLatency = 130;
+
+    /** Controller-to-network injection overhead (ns). */
+    Tick injectLatency = 140;
+
+    /** Network-to-controller ejection overhead (ns). */
+    Tick ejectLatency = 140;
+
+    /** Per-switch overhead charged when merging a gathered reply. */
+    Tick gatherMergeLatency = 20;
+
+    /** Output-port occupancy: fixed header cost (ns). */
+    Tick portOccupancyHeader = 40;
+
+    /** Output-port occupancy: per payload byte (ns). */
+    double portOccupancyPerByte = 0.5;
+
+    /** Entries in each switch's gather table (paper: 1024; we
+     * default to 2048 so the update-protocol extension's gathers
+     * get their own id space above the homes'). */
+    unsigned gatherTableEntries = 2048;
+};
+
+} // namespace cenju
+
+#endif // CENJU_NETWORK_NET_CONFIG_HH

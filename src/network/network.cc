@@ -1,0 +1,190 @@
+#include "network/network.hh"
+
+#include "sim/logging.hh"
+
+namespace cenju
+{
+
+Network::Network(EventQueue &eq, const NetConfig &cfg)
+    : _eq(eq), _cfg(cfg), _topo(cfg.numNodes, cfg.stages),
+      _injectors(cfg.numNodes), _endpoints(cfg.numNodes, nullptr),
+      _injectedCtr(_stats.counter("injected")),
+      _deliveredCtr(_stats.counter("delivered")),
+      _multicastCopies(_stats.counter("multicast_copies")),
+      _gatherAbsorbed(_stats.counter("gather_absorbed")),
+      _gatherForwarded(_stats.counter("gather_forwarded")),
+      _latency(_stats.sampleStat("latency_ns"))
+{
+    unsigned rows = _topo.rowsPerStage();
+    _switches.reserve(static_cast<std::size_t>(_topo.stages()) *
+                      rows);
+    for (unsigned s = 0; s < _topo.stages(); ++s) {
+        for (unsigned r = 0; r < rows; ++r) {
+            _switches.push_back(std::make_unique<XbarSwitch>(
+                _eq, *this, _topo, _cfg, s, r));
+        }
+    }
+
+    // Wire stage s outputs to stage s+1 inputs, and register the
+    // static back-pressure callbacks (input space -> upstream
+    // output re-arbitration).
+    for (unsigned s = 0; s + 1 < _topo.stages(); ++s) {
+        for (unsigned r = 0; r < rows; ++r) {
+            XbarSwitch &up = switchAt(s, r);
+            for (unsigned p = 0; p < switchRadix; ++p) {
+                auto [drow, dport] = _topo.link(s, r, p);
+                XbarSwitch &down = switchAt(s + 1, drow);
+                up.connectDownstream(p, &down, dport);
+                down.onInputSpace(dport, [&up, p] {
+                    // Wake the upstream output so a head blocked on
+                    // our full buffers is retried.
+                    up.unblockEject(p); // reuses the re-arb path
+                });
+            }
+        }
+    }
+
+    // Injection wiring: node n feeds one stage-0 input port.
+    for (NodeId n = 0; n < _cfg.numNodes; ++n) {
+        auto [row, port] = _topo.injectPoint(n);
+        _injectors[n].swRow = row;
+        _injectors[n].swPort = port;
+        switchAt(0, row).onInputSpace(port, [this, n] {
+            Injector &inj = _injectors[n];
+            if (inj.waitingSpace) {
+                inj.waitingSpace = false;
+                _eq.scheduleAfter(0, [this, n] { pumpInjector(n); });
+            }
+        });
+    }
+}
+
+Network::~Network() = default;
+
+void
+Network::attach(NodeId n, NetEndpoint *ep)
+{
+    if (n >= _cfg.numNodes)
+        fatal("attach: node %u out of range", n);
+    _endpoints[n] = ep;
+}
+
+const NodeSet &
+Network::decodedDest(const Packet &pkt) const
+{
+    if (!pkt.decodedDestCache) {
+        pkt.decodedDestCache = std::make_shared<const NodeSet>(
+            pkt.dest.decode(_cfg.numNodes));
+    }
+    return *pkt.decodedDestCache;
+}
+
+bool
+Network::tryInject(PacketPtr &&pkt)
+{
+    NodeId n = pkt->src;
+    if (n >= _cfg.numNodes)
+        panic("inject from bad node %u", n);
+    Injector &inj = _injectors[n];
+    if (inj.q.size() >= _cfg.injectQueueCapacity) {
+        inj.wasFull = true;
+        return false;
+    }
+    pkt->injectTick = _eq.now();
+    pkt->packetId = _nextPacketId++;
+    ++_injectedCtr;
+    ++_injected;
+    inj.q.push_back(std::move(pkt));
+    if (!inj.busy && !inj.waitingSpace)
+        pumpInjector(n);
+    return true;
+}
+
+void
+Network::pumpInjector(NodeId n)
+{
+    Injector &inj = _injectors[n];
+    if (inj.busy || inj.q.empty())
+        return;
+
+    XbarSwitch &sw0 = switchAt(0, inj.swRow);
+    Packet &head = *inj.q.front();
+    if (!sw0.reserve(inj.swPort, head)) {
+        inj.waitingSpace = true;
+        return;
+    }
+
+    PacketPtr pkt = std::move(inj.q.front());
+    inj.q.pop_front();
+    inj.busy = true;
+
+    Tick occ = _cfg.portOccupancyHeader +
+               static_cast<Tick>(pkt->sizeBytes *
+                                 _cfg.portOccupancyPerByte);
+    _eq.scheduleAfter(
+        _cfg.injectLatency,
+        [&sw0, port = inj.swPort,
+         p = std::make_shared<PacketPtr>(std::move(pkt))]() mutable {
+            sw0.commit(port, std::move(*p));
+        });
+    _eq.scheduleAfter(std::max(occ, _cfg.injectLatency),
+                      [this, n] {
+                          Injector &i2 = _injectors[n];
+                          i2.busy = false;
+                          pumpInjector(n);
+                          if (i2.wasFull &&
+                              i2.q.size() <
+                                  _cfg.injectQueueCapacity) {
+                              i2.wasFull = false;
+                              if (_endpoints[n])
+                                  _endpoints[n]
+                                      ->injectSpaceAvailable();
+                          }
+                      });
+}
+
+bool
+Network::ejectReserve(NodeId n, const Packet &pkt)
+{
+    if (!_endpoints[n])
+        panic("eject to unattached node %u", n);
+    return _endpoints[n]->reserveDelivery(pkt);
+}
+
+void
+Network::ejectDeliver(NodeId n, PacketPtr pkt)
+{
+    ++_deliveredCtr;
+    ++_delivered;
+    _latency.sample(
+        static_cast<double>(_eq.now() - pkt->injectTick));
+    _endpoints[n]->deliver(std::move(pkt));
+}
+
+void
+Network::registerEjectWaiter(NodeId n, XbarSwitch *sw, unsigned out)
+{
+    _ejectWaiters.emplace_back(sw, out);
+    // Tag the waiter with the node so deliveryRetry can find it.
+    _ejectWaiterNodes.push_back(n);
+}
+
+void
+Network::deliveryRetry(NodeId n)
+{
+    for (std::size_t i = 0; i < _ejectWaiters.size();) {
+        if (_ejectWaiterNodes[i] == n) {
+            auto [sw, out] = _ejectWaiters[i];
+            _ejectWaiters.erase(_ejectWaiters.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+            _ejectWaiterNodes.erase(
+                _ejectWaiterNodes.begin() +
+                static_cast<std::ptrdiff_t>(i));
+            sw->unblockEject(out);
+        } else {
+            ++i;
+        }
+    }
+}
+
+} // namespace cenju

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The multistage interconnection network: switches, per-node
+ * injection queues, ejection flow control and statistics.
+ *
+ * Features modelled after the paper (section 2):
+ *  - in-order message delivery between any two nodes (unique path +
+ *    FIFO crosspoint buffers),
+ *  - multicast and gathering functions,
+ *  - freedom from deadlock inside the network (feed-forward stages
+ *    with crosspoint buffers). Note that *ejection* can still block
+ *    on a full endpoint — that back-pressure is exactly what the
+ *    protocol-level deadlock-prevention buffers of section 3.4
+ *    resolve.
+ */
+
+#ifndef CENJU_NETWORK_NETWORK_HH
+#define CENJU_NETWORK_NETWORK_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "network/net_config.hh"
+#include "network/packet.hh"
+#include "network/topology.hh"
+#include "network/xbar_switch.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace cenju
+{
+
+/**
+ * A node's attachment to the network (the controller chip's network
+ * interface). Delivery uses a reserve/deliver pair so that finite
+ * input buffers exert back-pressure into the network.
+ */
+class NetEndpoint
+{
+  public:
+    virtual ~NetEndpoint() = default;
+
+    /**
+     * Claim input-buffer space for an incoming packet.
+     * @retval false if the endpoint cannot accept now; it must call
+     * Network::deliveryRetry() once space frees.
+     */
+    virtual bool reserveDelivery(const Packet &pkt) = 0;
+
+    /** Hand over a packet whose space was reserved. */
+    virtual void deliver(PacketPtr pkt) = 0;
+
+    /** A previously full injection queue has space again. */
+    virtual void injectSpaceAvailable() {}
+};
+
+/** One omega-network instance connecting up to 1024 nodes. */
+class Network
+{
+  public:
+    Network(EventQueue &eq, const NetConfig &cfg);
+    ~Network();
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /** Attach @p ep as node @p n's interface. */
+    void attach(NodeId n, NetEndpoint *ep);
+
+    /**
+     * Submit a packet for transmission from pkt->src.
+     * @retval false if the node's injection queue is full; the
+     * packet is left untouched in @p pkt (so callers can retry) and
+     * the endpoint is notified via injectSpaceAvailable() later.
+     */
+    bool tryInject(PacketPtr &&pkt);
+
+    /** Endpoint signals that refused deliveries can be retried. */
+    void deliveryRetry(NodeId n);
+
+    const Topology &topology() const { return _topo; }
+    const NetConfig &config() const { return _cfg; }
+    unsigned numNodes() const { return _cfg.numNodes; }
+    EventQueue &eventQueue() { return _eq; }
+
+    StatGroup &stats() { return _stats; }
+
+    /** Packets accepted for transmission so far. */
+    std::uint64_t injectedCount() const { return _injected; }
+
+    /** Packets handed to endpoints so far. */
+    std::uint64_t deliveredCount() const { return _delivered; }
+
+    // --- interface used by XbarSwitch -----------------------------
+
+    /** Final-stage reserve toward endpoint @p n. */
+    bool ejectReserve(NodeId n, const Packet &pkt);
+
+    /** Final-stage delivery of a reserved packet to endpoint @p n. */
+    void ejectDeliver(NodeId n, PacketPtr pkt);
+
+    /** Remember a final-stage output blocked on endpoint @p n. */
+    void registerEjectWaiter(NodeId n, XbarSwitch *sw, unsigned out);
+
+    /** Decoded destination set of @p pkt (cached in the packet). */
+    const NodeSet &decodedDest(const Packet &pkt) const;
+
+    Counter &multicastCopies() { return _multicastCopies; }
+    Counter &gatherAbsorbed() { return _gatherAbsorbed; }
+    Counter &gatherForwarded() { return _gatherForwarded; }
+
+    /** Switch at (stage, row) — exposed for tests. */
+    XbarSwitch &
+    switchAt(unsigned stage, unsigned row)
+    {
+        return *_switches[stage * _topo.rowsPerStage() + row];
+    }
+
+  private:
+    /** Per-node injection queue and serializer. */
+    struct Injector
+    {
+        std::deque<PacketPtr> q;
+        bool busy = false;
+        bool waitingSpace = false; ///< blocked on stage-0 buffer
+        bool wasFull = false;      ///< owner needs a space callback
+        unsigned swRow = 0;
+        unsigned swPort = 0;
+    };
+
+    void pumpInjector(NodeId n);
+
+    EventQueue &_eq;
+    NetConfig _cfg;
+    Topology _topo;
+    std::vector<std::unique_ptr<XbarSwitch>> _switches;
+    std::vector<Injector> _injectors;
+    std::vector<NetEndpoint *> _endpoints;
+    std::vector<std::pair<XbarSwitch *, unsigned>> _ejectWaiters;
+    std::vector<NodeId> _ejectWaiterNodes;
+
+    StatGroup _stats{"network"};
+    Counter &_injectedCtr;
+    Counter &_deliveredCtr;
+    Counter &_multicastCopies;
+    Counter &_gatherAbsorbed;
+    Counter &_gatherForwarded;
+    SampleStat &_latency;
+    std::uint64_t _injected = 0;
+    std::uint64_t _delivered = 0;
+    std::uint64_t _nextPacketId = 1;
+};
+
+} // namespace cenju
+
+#endif // CENJU_NETWORK_NETWORK_HH

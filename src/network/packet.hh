@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Network packet base class and multicast destination specification.
+ *
+ * The destination of a multicast is specified with the same pointer
+ * or bit-pattern structures as the directory node map (paper section
+ * 3.2): making the two coincide guarantees the network delivers to
+ * exactly the represented set, never more.
+ */
+
+#ifndef CENJU_NETWORK_PACKET_HH
+#define CENJU_NETWORK_PACKET_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "directory/bit_pattern.hh"
+#include "directory/node_set.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cenju
+{
+
+/**
+ * Destination specification carried in a packet header: a single
+ * node, up to four exact pointers, or a 42-bit bit-pattern.
+ */
+class DestSpec
+{
+  public:
+    enum class Kind : std::uint8_t { Unicast, Pointers, Pattern };
+
+    /** Unicast to @p n. */
+    static DestSpec
+    unicast(NodeId n)
+    {
+        DestSpec d;
+        d._kind = Kind::Unicast;
+        d._pointers[0] = n;
+        d._count = 1;
+        return d;
+    }
+
+    /** Multicast to an explicit short list (<= 4 nodes). */
+    static DestSpec
+    pointers(const std::vector<NodeId> &nodes)
+    {
+        DestSpec d;
+        d._kind = Kind::Pointers;
+        d._count = 0;
+        for (NodeId n : nodes) {
+            if (d._count >= 4)
+                panic("DestSpec::pointers: more than 4 nodes");
+            d._pointers[d._count++] = n;
+        }
+        return d;
+    }
+
+    /** Multicast to the set represented by a bit-pattern. */
+    static DestSpec
+    pattern(const BitPattern &p)
+    {
+        DestSpec d;
+        d._kind = Kind::Pattern;
+        d._pattern = p;
+        return d;
+    }
+
+    Kind kind() const { return _kind; }
+
+    /** Unicast destination. @pre kind() == Unicast */
+    NodeId
+    unicastDest() const
+    {
+        if (_kind != Kind::Unicast)
+            panic("DestSpec: not unicast");
+        return _pointers[0];
+    }
+
+    /** Represented destination set, restricted to ids < num_nodes. */
+    NodeSet
+    decode(unsigned num_nodes) const
+    {
+        NodeSet s(num_nodes);
+        switch (_kind) {
+          case Kind::Unicast:
+          case Kind::Pointers:
+            for (unsigned i = 0; i < _count; ++i) {
+                if (_pointers[i] < num_nodes)
+                    s.insert(_pointers[i]);
+            }
+            break;
+          case Kind::Pattern:
+            s = _pattern.decode(num_nodes);
+            break;
+        }
+        return s;
+    }
+
+  private:
+    Kind _kind = Kind::Unicast;
+    NodeId _pointers[4] = {0, 0, 0, 0};
+    unsigned _count = 0;
+    BitPattern _pattern;
+};
+
+/**
+ * One message in flight. Subsystems (coherence protocol, message
+ * passing) subclass this with their payloads; the network only looks
+ * at the header fields.
+ */
+class Packet
+{
+  public:
+    virtual ~Packet() = default;
+
+    /** Copy for multicast replication. */
+    virtual std::unique_ptr<Packet> clone() const = 0;
+
+    NodeId src = invalidNode;
+
+    /** Header destination. Multicast iff dest.kind() != Unicast. */
+    DestSpec dest;
+
+    /** Total size in bytes (header + payload), for serialization. */
+    unsigned sizeBytes = 16;
+
+    /**
+     * Gathered-reply fields (paper section 3.2). A gathered packet
+     * is a unicast toward dest whose copies are merged in-network:
+     * each switch waits for the inputs on which members of
+     * gatherGroup converge, forwarding only the last arrival.
+     */
+    bool gathered = false;
+
+    /** 10-bit gather identifier indexing switch gather tables. */
+    std::uint16_t gatherId = 0;
+
+    /**
+     * The full set of nodes replying to this gather; shared by all
+     * sibling replies so switches can compute wait patterns.
+     */
+    std::shared_ptr<const NodeSet> gatherGroup;
+
+    /** Set when injected; used for latency statistics. */
+    Tick injectTick = 0;
+
+    /**
+     * Lazily decoded multicast destination set; shared by clones so
+     * each switch on the tree decodes at most once per message.
+     */
+    mutable std::shared_ptr<const NodeSet> decodedDestCache;
+
+    /** Monotonic id for debugging and deterministic tie-breaks. */
+    std::uint64_t packetId = 0;
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+} // namespace cenju
+
+#endif // CENJU_NETWORK_PACKET_HH

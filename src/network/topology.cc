@@ -1,0 +1,116 @@
+#include "network/topology.hh"
+
+#include "sim/logging.hh"
+
+namespace cenju
+{
+
+unsigned
+Topology::defaultStages(unsigned num_nodes)
+{
+    if (num_nodes < 1 || num_nodes > maxNodes)
+        fatal("unsupported system size %u", num_nodes);
+    if (num_nodes <= switchRadix)
+        return 1;
+    unsigned stages = 0;
+    unsigned cap = 1;
+    while (cap < num_nodes) {
+        cap *= switchRadix;
+        ++stages;
+    }
+    // Cenju-4 uses an even stage count on larger systems:
+    // 16 -> 2, 128 -> 4, 1024 -> 6 (Table 2).
+    if (stages % 2)
+        ++stages;
+    return stages;
+}
+
+Topology::Topology(unsigned num_nodes, unsigned stages)
+    : _numNodes(num_nodes),
+      _stages(stages ? stages : defaultStages(num_nodes))
+{
+    _channels = 1;
+    for (unsigned s = 0; s < _stages; ++s)
+        _channels *= switchRadix;
+    if (_channels < _numNodes) {
+        fatal("%u stages address only %u endpoints (< %u nodes)",
+              _stages, _channels, _numNodes);
+    }
+    buildReach();
+}
+
+std::pair<unsigned, unsigned>
+Topology::injectPoint(NodeId n) const
+{
+    unsigned c = shuffle(static_cast<unsigned>(n));
+    return {c / switchRadix, c % switchRadix};
+}
+
+std::pair<unsigned, unsigned>
+Topology::link(unsigned stage, unsigned row, unsigned port) const
+{
+    if (stage + 1 >= _stages)
+        panic("link() called on the final stage");
+    unsigned c = shuffle(row * switchRadix + port);
+    return {c / switchRadix, c % switchRadix};
+}
+
+std::vector<RouteHop>
+Topology::route(NodeId src, NodeId dst) const
+{
+    std::vector<RouteHop> hops;
+    hops.reserve(_stages);
+    unsigned c = static_cast<unsigned>(src);
+    for (unsigned s = 0; s < _stages; ++s) {
+        c = shuffle(c);
+        RouteHop hop;
+        hop.stage = s;
+        hop.row = c / switchRadix;
+        hop.inPort = c % switchRadix;
+        hop.outPort = routeDigit(dst, s);
+        hops.push_back(hop);
+        c = hop.row * switchRadix + hop.outPort;
+    }
+    if (c != dst)
+        panic("route(%u,%u) ended at channel %u", src, dst, c);
+    return hops;
+}
+
+void
+Topology::buildReach()
+{
+    unsigned rows = rowsPerStage();
+    _reach.assign(static_cast<std::size_t>(_stages) * rows *
+                      switchRadix,
+                  NodeSet(_channels));
+
+    // Final stage: each output port ejects exactly one endpoint.
+    for (unsigned row = 0; row < rows; ++row) {
+        for (unsigned p = 0; p < switchRadix; ++p) {
+            NodeId n = ejectNode(row, p);
+            if (n < _numNodes)
+                _reach[portIndex(_stages - 1, row, p)].insert(n);
+        }
+    }
+
+    // Earlier stages: a port reaches everything its downstream
+    // switch reaches through any of that switch's outputs.
+    for (int s = static_cast<int>(_stages) - 2; s >= 0; --s) {
+        for (unsigned row = 0; row < rows; ++row) {
+            for (unsigned p = 0; p < switchRadix; ++p) {
+                auto [nrow, nport] =
+                    link(static_cast<unsigned>(s), row, p);
+                (void)nport;
+                NodeSet &out =
+                    _reach[portIndex(static_cast<unsigned>(s), row,
+                                     p)];
+                for (unsigned q = 0; q < switchRadix; ++q) {
+                    out |= _reach[portIndex(
+                        static_cast<unsigned>(s) + 1, nrow, q)];
+                }
+            }
+        }
+    }
+}
+
+} // namespace cenju

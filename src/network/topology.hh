@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Radix-4 omega (multistage shuffle-exchange) topology: wiring,
+ * destination-tag routing, and per-port reachability sets.
+ *
+ * Cenju-4's network is built from 4x4 crossbar switches and changes
+ * its stage count with the system size: 2 stages up to 16 nodes, 4
+ * up to 128(256), 6 up to 1024 (Table 2). We realize this as an
+ * omega network with S stages over 4^S channel addresses; node ids
+ * above the real system size are simply unused endpoints.
+ *
+ * Channel algebra (digits base 4, S digits, MSD first):
+ *  - a perfect 4-way shuffle (left digit rotation) precedes every
+ *    stage;
+ *  - the switch replaces the low digit of the channel address with
+ *    the chosen output port.
+ * Routing to destination d therefore picks output port = digit
+ * (S-1-s) of d at stage s, and each (source, destination) pair has
+ * exactly one path — giving the in-order delivery the coherence
+ * protocol relies on.
+ */
+
+#ifndef CENJU_NETWORK_TOPOLOGY_HH
+#define CENJU_NETWORK_TOPOLOGY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "directory/node_set.hh"
+#include "sim/types.hh"
+
+namespace cenju
+{
+
+/** Switch radix (4x4 crossbars). */
+constexpr unsigned switchRadix = 4;
+
+/** One hop of a route: which switch, entering and leaving where. */
+struct RouteHop
+{
+    unsigned stage;
+    unsigned row;     ///< switch index within the stage
+    unsigned inPort;  ///< input port (0..3)
+    unsigned outPort; ///< output port (0..3)
+};
+
+/** Static structure of one omega network instance. */
+class Topology
+{
+  public:
+    /**
+     * @param num_nodes real endpoints (1 .. 1024)
+     * @param stages switch stages; 0 = derive from num_nodes using
+     *        the Cenju-4 rule (ceil(log4), rounded up to even)
+     */
+    explicit Topology(unsigned num_nodes, unsigned stages = 0);
+
+    /** Cenju-4 stage-count rule: 16->2, 128->4, 1024->6. */
+    static unsigned defaultStages(unsigned num_nodes);
+
+    unsigned numNodes() const { return _numNodes; }
+    unsigned stages() const { return _stages; }
+
+    /** Channel addresses per stage boundary (4^stages). */
+    unsigned channels() const { return _channels; }
+
+    /** Switches per stage. */
+    unsigned rowsPerStage() const { return _channels / switchRadix; }
+
+    /** Stage-0 (switch row, input port) fed by node @p n. */
+    std::pair<unsigned, unsigned> injectPoint(NodeId n) const;
+
+    /**
+     * Downstream connection of output @p port of switch
+     * (@p stage, @p row): the (row, input port) pair at stage+1.
+     * @pre stage < stages() - 1
+     */
+    std::pair<unsigned, unsigned> link(unsigned stage, unsigned row,
+                                       unsigned port) const;
+
+    /** Node ejected by the final stage's (row, port). */
+    NodeId
+    ejectNode(unsigned row, unsigned port) const
+    {
+        return static_cast<NodeId>(row * switchRadix + port);
+    }
+
+    /** Output port digit for destination @p dst at @p stage. */
+    unsigned
+    routeDigit(NodeId dst, unsigned stage) const
+    {
+        unsigned shift = 2 * (_stages - 1 - stage);
+        return (dst >> shift) & 0x3;
+    }
+
+    /** Full unique route from @p src to @p dst. */
+    std::vector<RouteHop> route(NodeId src, NodeId dst) const;
+
+    /**
+     * Endpoints reachable from output @p port of switch
+     * (@p stage, @p row), restricted to real nodes. Precomputed.
+     */
+    const NodeSet &
+    reach(unsigned stage, unsigned row, unsigned port) const
+    {
+        return _reach[portIndex(stage, row, port)];
+    }
+
+    /** 4-way perfect shuffle: left-rotate the S base-4 digits. */
+    unsigned
+    shuffle(unsigned channel) const
+    {
+        return ((channel << 2) | (channel >> (2 * (_stages - 1)))) &
+               (_channels - 1);
+    }
+
+  private:
+    unsigned
+    portIndex(unsigned stage, unsigned row, unsigned port) const
+    {
+        return (stage * rowsPerStage() + row) * switchRadix + port;
+    }
+
+    void buildReach();
+
+    unsigned _numNodes;
+    unsigned _stages;
+    unsigned _channels;
+    std::vector<NodeSet> _reach;
+};
+
+} // namespace cenju
+
+#endif // CENJU_NETWORK_TOPOLOGY_HH

@@ -1,0 +1,235 @@
+#include "network/xbar_switch.hh"
+
+#include "network/network.hh"
+
+namespace cenju
+{
+
+XbarSwitch::XbarSwitch(EventQueue &eq, Network &net,
+                       const Topology &topo, const NetConfig &cfg,
+                       unsigned stage, unsigned row)
+    : _eq(eq), _net(net), _topo(topo), _cfg(cfg), _stage(stage),
+      _row(row), _lastStage(stage + 1 == topo.stages()),
+      _gather(cfg.gatherTableEntries)
+{}
+
+std::vector<unsigned>
+XbarSwitch::targetPorts(const Packet &pkt) const
+{
+    std::vector<unsigned> ports;
+    if (pkt.dest.kind() == DestSpec::Kind::Unicast) {
+        ports.push_back(_topo.routeDigit(pkt.dest.unicastDest(),
+                                         _stage));
+        return ports;
+    }
+    // Multicast: cover every output port whose reachable set
+    // intersects the decoded destination set (the in-switch
+    // calculation of paper Figure 5a).
+    const NodeSet &dests = _net.decodedDest(pkt);
+    for (unsigned p = 0; p < switchRadix; ++p) {
+        if (_topo.reach(_stage, _row, p).intersects(dests))
+            ports.push_back(p);
+    }
+    return ports;
+}
+
+std::uint8_t
+XbarSwitch::gatherWaitPattern(const Packet &pkt) const
+{
+    // Input ports via which members of the gather group reach this
+    // switch on their unique route to the gather destination. The
+    // real machine carries these patterns in the message, computed
+    // at the replying node from the same information.
+    if (!pkt.gatherGroup)
+        panic("gathered packet without gather group");
+    NodeId home = pkt.dest.unicastDest();
+    std::uint8_t pattern = 0;
+    pkt.gatherGroup->forEach([&](NodeId v) {
+        auto hops = _topo.route(v, home);
+        const RouteHop &h = hops[_stage];
+        if (h.row == _row)
+            pattern |= std::uint8_t(1u << h.inPort);
+    });
+    return pattern;
+}
+
+Tick
+XbarSwitch::occupancyTime(const Packet &pkt) const
+{
+    return _cfg.portOccupancyHeader +
+           static_cast<Tick>(pkt.sizeBytes *
+                             _cfg.portOccupancyPerByte);
+}
+
+bool
+XbarSwitch::reserve(unsigned in_port, const Packet &pkt)
+{
+    std::vector<unsigned> outs = targetPorts(pkt);
+    if (outs.empty())
+        panic("packet with no target ports at stage %u", _stage);
+    for (unsigned o : outs) {
+        if (_xb[in_port][o].used() >= _cfg.xbCapacity)
+            return false;
+    }
+    for (unsigned o : outs)
+        ++_xb[in_port][o].reserved;
+    return true;
+}
+
+void
+XbarSwitch::commit(unsigned in_port, PacketPtr pkt)
+{
+    std::vector<unsigned> outs = targetPorts(*pkt);
+
+    if (pkt->gathered) {
+        if (outs.size() != 1)
+            panic("gathered packet with %zu targets", outs.size());
+        std::uint8_t pattern = gatherWaitPattern(*pkt);
+        auto res = _gather.absorb(pkt->gatherId, in_port, pattern);
+        if (res == GatherTable::Result::Absorbed) {
+            ++_net.gatherAbsorbed();
+            releaseReservation(in_port, outs);
+            return; // merged away
+        }
+        ++_net.gatherForwarded();
+        // Forward the last reply after the merge overhead.
+        unsigned out = outs[0];
+        _eq.scheduleAfter(_cfg.gatherMergeLatency,
+                          [this, in_port, out,
+                           p = std::make_shared<PacketPtr>(
+                               std::move(pkt))]() mutable {
+                              enqueue(in_port, out, std::move(*p));
+                          });
+        return;
+    }
+
+    // Multicast replication: clone into each covered output's
+    // crosspoint buffer; the original moves into the last one.
+    for (std::size_t k = 0; k + 1 < outs.size(); ++k) {
+        ++_net.multicastCopies();
+        enqueue(in_port, outs[k], pkt->clone());
+    }
+    enqueue(in_port, outs.back(), std::move(pkt));
+}
+
+void
+XbarSwitch::enqueue(unsigned in, unsigned out, PacketPtr pkt)
+{
+    Fifo &f = _xb[in][out];
+    if (f.reserved == 0)
+        panic("commit without reservation (%u,%u)", in, out);
+    --f.reserved;
+    f.q.push_back(std::move(pkt));
+    scheduleArbitrate(out);
+}
+
+void
+XbarSwitch::releaseReservation(unsigned in,
+                               const std::vector<unsigned> &outs)
+{
+    for (unsigned o : outs) {
+        Fifo &f = _xb[in][o];
+        if (f.reserved == 0)
+            panic("release without reservation (%u,%u)", in, o);
+        --f.reserved;
+    }
+    inputSpaceFreed(in);
+}
+
+void
+XbarSwitch::inputSpaceFreed(unsigned in)
+{
+    if (_spaceCallbacks[in])
+        _spaceCallbacks[in]();
+}
+
+void
+XbarSwitch::scheduleArbitrate(unsigned out)
+{
+    if (_arbScheduled[out])
+        return;
+    _arbScheduled[out] = true;
+    _eq.scheduleAfter(0, [this, out] {
+        _arbScheduled[out] = false;
+        arbitrate(out);
+    });
+}
+
+void
+XbarSwitch::arbitrate(unsigned out)
+{
+    if (_busy[out] || _blockedEject[out])
+        return;
+
+    for (unsigned k = 0; k < switchRadix; ++k) {
+        unsigned in = (_rr[out] + k) % switchRadix;
+        Fifo &f = _xb[in][out];
+        if (f.q.empty())
+            continue;
+
+        Packet &head = *f.q.front();
+        if (_lastStage) {
+            NodeId node = _topo.ejectNode(_row, out);
+            if (!_net.ejectReserve(node, head)) {
+                // All traffic on this output targets the same
+                // endpoint, so the whole port blocks until the
+                // endpoint frees space.
+                _blockedEject[out] = true;
+                _net.registerEjectWaiter(node, this, out);
+                return;
+            }
+            PacketPtr pkt = std::move(f.q.front());
+            f.q.pop_front();
+            _rr[out] = (in + 1) % switchRadix;
+            Tick occ = occupancyTime(*pkt);
+            _busy[out] = true;
+            _eq.scheduleAfter(occ, [this, out] {
+                _busy[out] = false;
+                arbitrate(out);
+            });
+            _eq.scheduleAfter(
+                _cfg.stageLatency + _cfg.ejectLatency,
+                [this, node,
+                 p = std::make_shared<PacketPtr>(
+                     std::move(pkt))]() mutable {
+                    _net.ejectDeliver(node, std::move(*p));
+                });
+            inputSpaceFreed(in);
+            return;
+        }
+
+        XbarSwitch *down = _down[out];
+        unsigned dport = _downPort[out];
+        if (!down->reserve(dport, head)) {
+            // Wired retry: the downstream fires our input-space
+            // callback when (dport, *) space frees.
+            return;
+        }
+        PacketPtr pkt = std::move(f.q.front());
+        f.q.pop_front();
+        _rr[out] = (in + 1) % switchRadix;
+        Tick occ = occupancyTime(*pkt);
+        _busy[out] = true;
+        _eq.scheduleAfter(occ, [this, out] {
+            _busy[out] = false;
+            arbitrate(out);
+        });
+        _eq.scheduleAfter(
+            _cfg.stageLatency,
+            [down, dport,
+             p = std::make_shared<PacketPtr>(std::move(pkt))]() mutable {
+                down->commit(dport, std::move(*p));
+            });
+        inputSpaceFreed(in);
+        return;
+    }
+}
+
+void
+XbarSwitch::unblockEject(unsigned out)
+{
+    _blockedEject[out] = false;
+    scheduleArbitrate(out);
+}
+
+} // namespace cenju

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * 4x4 crossbar switch with crosspoint buffers, virtual cut-through
+ * flow control, in-switch multicast replication and gather merging
+ * (paper section 3.2, Figure 5).
+ *
+ * Cenju-4 uses a crosspoint buffer per (input, output) pair — 16 per
+ * switch — so that multicast forwarding never needs arbitration
+ * *between* switches. We model the same structure: a packet is
+ * handed over with a two-phase reserve/commit handshake (the reserve
+ * models cut-through buffer pre-allocation), multicast packets are
+ * replicated into one crosspoint buffer per covered output port, and
+ * gathered replies are merged against the switch's gather table,
+ * with only the last reply of a gather forwarded.
+ */
+
+#ifndef CENJU_NETWORK_XBAR_SWITCH_HH
+#define CENJU_NETWORK_XBAR_SWITCH_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "network/gather_table.hh"
+#include "network/net_config.hh"
+#include "network/packet.hh"
+#include "network/topology.hh"
+#include "sim/event_queue.hh"
+
+namespace cenju
+{
+
+class Network;
+
+/** One 4x4 crossbar switch of the multistage network. */
+class XbarSwitch
+{
+  public:
+    XbarSwitch(EventQueue &eq, Network &net, const Topology &topo,
+               const NetConfig &cfg, unsigned stage, unsigned row);
+
+    XbarSwitch(const XbarSwitch &) = delete;
+    XbarSwitch &operator=(const XbarSwitch &) = delete;
+
+    unsigned stage() const { return _stage; }
+    unsigned row() const { return _row; }
+
+    /**
+     * Phase 1 of a handoff: reserve crosspoint buffer space for
+     * @p pkt arriving on @p in_port. For a multicast this reserves a
+     * slot in every covered output's buffer, all or nothing.
+     * @retval false if any needed buffer is full; the upstream must
+     * wait for its input-space callback.
+     */
+    bool reserve(unsigned in_port, const Packet &pkt);
+
+    /**
+     * Phase 2: the packet physically arrives on @p in_port (wire
+     * latency after a successful reserve). Runs gather merging and
+     * multicast replication, then enqueues into crosspoint buffers.
+     */
+    void commit(unsigned in_port, PacketPtr pkt);
+
+    /**
+     * Register the single upstream's retry callback for @p in_port;
+     * fired whenever buffer space frees on that input.
+     */
+    void
+    onInputSpace(unsigned in_port, std::function<void()> cb)
+    {
+        _spaceCallbacks[in_port] = std::move(cb);
+    }
+
+    /** Downstream wiring (interior stages). */
+    void
+    connectDownstream(unsigned out_port, XbarSwitch *sw,
+                      unsigned their_in_port)
+    {
+        _down[out_port] = sw;
+        _downPort[out_port] = their_in_port;
+    }
+
+    /** Re-run arbitration for @p out_port (used on eject retry). */
+    void unblockEject(unsigned out_port);
+
+    /** Output ports a packet entering this switch must cover. */
+    std::vector<unsigned> targetPorts(const Packet &pkt) const;
+
+    /** Gather wait pattern for @p pkt at this switch. */
+    std::uint8_t gatherWaitPattern(const Packet &pkt) const;
+
+    const GatherTable &gatherTable() const { return _gather; }
+
+    /** Buffered + reserved packets in (in, out)'s buffer. */
+    unsigned
+    occupancy(unsigned in, unsigned out) const
+    {
+        const Fifo &f = _xb[in][out];
+        return unsigned(f.q.size()) + f.reserved;
+    }
+
+  private:
+    struct Fifo
+    {
+        std::deque<PacketPtr> q;
+        unsigned reserved = 0;
+
+        unsigned
+        used() const
+        {
+            return unsigned(q.size()) + reserved;
+        }
+    };
+
+    void arbitrate(unsigned out);
+    void scheduleArbitrate(unsigned out);
+    void enqueue(unsigned in, unsigned out, PacketPtr pkt);
+    void releaseReservation(unsigned in,
+                            const std::vector<unsigned> &outs);
+    void inputSpaceFreed(unsigned in);
+    Tick occupancyTime(const Packet &pkt) const;
+
+    EventQueue &_eq;
+    Network &_net;
+    const Topology &_topo;
+    const NetConfig &_cfg;
+    unsigned _stage;
+    unsigned _row;
+    bool _lastStage;
+
+    Fifo _xb[switchRadix][switchRadix];
+    std::array<bool, switchRadix> _busy{};
+    std::array<bool, switchRadix> _blockedEject{};
+    std::array<bool, switchRadix> _arbScheduled{};
+    std::array<unsigned, switchRadix> _rr{};
+
+    std::array<XbarSwitch *, switchRadix> _down{};
+    std::array<unsigned, switchRadix> _downPort{};
+    std::array<std::function<void()>, switchRadix> _spaceCallbacks;
+
+    GatherTable _gather;
+};
+
+} // namespace cenju
+
+#endif // CENJU_NETWORK_XBAR_SWITCH_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * One Cenju-4 node: R10000-class processor port (the master
+ * module), 1 MB secondary cache, main memory split into private and
+ * shared segments, and the controller chip's master/home/slave
+ * protocol engines with the section 3.4 buffering arrangement.
+ *
+ * The node is also the network endpoint: incoming packets are
+ * dispatched to the module their type addresses, with per-class
+ * acceptance rules that realize the deadlock-prevention scheme —
+ * grants are always absorbed (bounded by MSHRs), slave-bound
+ * requests overflow into main memory, and the home's output is
+ * buffered in main memory so the home never blocks the network.
+ */
+
+#ifndef CENJU_NODE_DSM_NODE_HH
+#define CENJU_NODE_DSM_NODE_HH
+
+#include <deque>
+#include <memory>
+
+#include "memory/address_map.hh"
+#include "memory/main_memory.hh"
+#include "memory/msg_queue.hh"
+#include "network/network.hh"
+#include "protocol/cache.hh"
+#include "protocol/home.hh"
+#include "protocol/master.hh"
+#include "protocol/proto_config.hh"
+#include "protocol/slave.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace cenju
+{
+
+/** A complete node attached to the network. */
+class DsmNode : public NetEndpoint
+{
+  public:
+    DsmNode(EventQueue &eq, Network &net, NodeId id,
+            const ProtocolConfig &cfg);
+
+    DsmNode(const DsmNode &) = delete;
+    DsmNode &operator=(const DsmNode &) = delete;
+
+    NodeId id() const { return _id; }
+    unsigned numNodes() const { return _net.numNodes(); }
+    EventQueue &eq() { return _eq; }
+    Network &net() { return _net; }
+    const ProtocolConfig &cfg() const { return _cfg; }
+    const TimingParams &timing() const { return _cfg.timing; }
+
+    Cache &cache() { return _cache; }
+    MainMemory &sharedMem() { return _sharedMem; }
+    MainMemory &privateMem() { return _privateMem; }
+
+    MasterModule &master() { return _master; }
+    HomeModule &home() { return _home; }
+    SlaveModule &slave() { return _slave; }
+
+    // --- module output paths --------------------------------------
+
+    /** Queue a master-originated message (request / writeback). */
+    void sendFromMaster(std::unique_ptr<CohPacket> pkt);
+
+    /**
+     * Queue a slave reply. The slave's output register holds one
+     * message; @retval false means it is occupied and the slave
+     * must stall until outputSpaceAvailable().
+     */
+    bool trySendFromSlave(std::unique_ptr<CohPacket> &pkt);
+
+    /**
+     * Queue a home-originated message. With deadlock avoidance the
+     * overflow goes to main memory and this never fails; without
+     * it, @retval false tells the home to stall.
+     */
+    bool trySendFromHome(std::unique_ptr<CohPacket> &pkt);
+
+    /** Entries waiting in the home output memory queue. */
+    std::size_t homeOutBacklog() const
+    {
+        return _homeOutHw.size() + _homeOutMem.size();
+    }
+
+    std::size_t homeOutMemHighWater() const
+    {
+        return _homeOutMem.highWater();
+    }
+
+    // --- NetEndpoint ----------------------------------------------
+
+    bool reserveDelivery(const Packet &pkt) override;
+    void deliver(PacketPtr pkt) override;
+    void injectSpaceAvailable() override;
+
+    /** A module freed input-buffer space (ablation back-pressure:
+     * lets the network retry refused deliveries). */
+    void inputSpaceFreed();
+
+    /** Total protocol messages this node has emitted. */
+    std::uint64_t sentCount() const { return _sent; }
+
+    /**
+     * Handler for non-coherence packets delivered to this node
+     * (user-level message passing shares the network, paper
+     * section 2). Such packets are always accepted.
+     */
+    void
+    setUserHandler(std::function<void(PacketPtr)> handler)
+    {
+        _userHandler = std::move(handler);
+    }
+
+    /** Inject a user-level packet (also used for local loopback). */
+    void sendUser(PacketPtr pkt);
+
+  private:
+    /** Dispatch a protocol message to the right module. */
+    void dispatch(std::unique_ptr<CohPacket> pkt);
+
+    void pumpOutput();
+
+    EventQueue &_eq;
+    Network &_net;
+    NodeId _id;
+    ProtocolConfig _cfg;
+
+    Cache _cache;
+    MainMemory _privateMem;
+    MainMemory _sharedMem;
+
+    MasterModule _master;
+    HomeModule _home;
+    SlaveModule _slave;
+
+    // Output side: three source queues round-robin-pumped into the
+    // network's injection queue.
+    // Held as PacketPtr so handing off to Network::tryInject never
+    // goes through a destroying temporary conversion.
+    std::deque<PacketPtr> _masterOut;
+    PacketPtr _slaveOut; ///< single register
+    std::deque<PacketPtr> _homeOutHw;
+    MsgQueue<PacketPtr> _homeOutMem;
+    unsigned _outRR = 0;
+
+    // Input-side reservation accounting (ablation mode).
+    unsigned _slaveReserved = 0;
+    unsigned _homeReserved = 0;
+
+    std::function<void(PacketPtr)> _userHandler;
+    std::deque<PacketPtr> _userOut;
+
+    std::uint64_t _sent = 0;
+};
+
+} // namespace cenju
+
+#endif // CENJU_NODE_DSM_NODE_HH

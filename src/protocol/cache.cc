@@ -1,0 +1,96 @@
+#include "protocol/cache.hh"
+
+namespace cenju
+{
+
+const char *
+cacheStateName(CacheState s)
+{
+    switch (s) {
+      case CacheState::Invalid:
+        return "I";
+      case CacheState::Shared:
+        return "S";
+      case CacheState::Exclusive:
+        return "E";
+      case CacheState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+Cache::Cache(unsigned bytes, unsigned assoc) : _assoc(assoc)
+{
+    if (assoc == 0)
+        fatal("cache associativity must be positive");
+    unsigned lines = bytes / blockBytes;
+    if (lines < assoc)
+        fatal("cache of %u bytes too small for %u ways", bytes,
+              assoc);
+    _sets = lines / assoc;
+    // Power-of-two sets keep indexing a mask.
+    while (_sets & (_sets - 1))
+        --_sets;
+    _lines.resize(static_cast<std::size_t>(_sets) * _assoc);
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    // Hash the shared bit and node bits in so private and remote
+    // blocks spread over all sets.
+    std::uint64_t block = addr >> blockShift;
+    block ^= block >> 17;
+    return static_cast<unsigned>(block & (_sets - 1));
+}
+
+CacheLine *
+Cache::lookup(Addr addr)
+{
+    Addr tag = blockBase(addr);
+    CacheLine *base = &_lines[static_cast<std::size_t>(
+                          setIndex(addr)) *
+                      _assoc];
+    for (unsigned w = 0; w < _assoc; ++w) {
+        CacheLine &line = base[w];
+        if (line.valid() && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::lookup(Addr addr) const
+{
+    return const_cast<Cache *>(this)->lookup(addr);
+}
+
+CacheLine *
+Cache::allocate(Addr addr)
+{
+    CacheLine *base = &_lines[static_cast<std::size_t>(
+                          setIndex(addr)) *
+                      _assoc];
+    CacheLine *victim = nullptr;
+    for (unsigned w = 0; w < _assoc; ++w) {
+        CacheLine &line = base[w];
+        if (!line.valid() && !line.pinned)
+            return &line;
+        if (!line.pinned &&
+            (!victim || line.lastUse < victim->lastUse)) {
+            victim = &line;
+        }
+    }
+    return victim;
+}
+
+unsigned
+Cache::validLines() const
+{
+    unsigned n = 0;
+    for (const CacheLine &line : _lines)
+        n += line.valid();
+    return n;
+}
+
+} // namespace cenju

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Secondary cache model: set-associative, 128-byte lines, LRU
+ * replacement, MESI states, functional data.
+ *
+ * One cache per node, shared by the master module (processor side)
+ * and the slave module (incoming forwards/invalidations operate on
+ * the same lines). Private and shared addresses coexist; the
+ * address's shared bit keeps their tags distinct.
+ */
+
+#ifndef CENJU_PROTOCOL_CACHE_HH
+#define CENJU_PROTOCOL_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/main_memory.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cenju
+{
+
+/** MESI cache line states. */
+enum class CacheState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Printable state name. */
+const char *cacheStateName(CacheState s);
+
+/** One cache line. */
+struct CacheLine
+{
+    Addr tag = 0; ///< block-aligned full address
+    CacheState state = CacheState::Invalid;
+    bool pinned = false; ///< an outstanding request targets it
+    std::uint64_t lastUse = 0;
+    Block data;
+
+    bool valid() const { return state != CacheState::Invalid; }
+};
+
+/** Set-associative write-back cache. */
+class Cache
+{
+  public:
+    /**
+     * @param bytes total capacity
+     * @param assoc ways per set
+     */
+    Cache(unsigned bytes, unsigned assoc);
+
+    /** Line holding @p addr's block, or nullptr. */
+    CacheLine *lookup(Addr addr);
+    const CacheLine *lookup(Addr addr) const;
+
+    /**
+     * Victim selection for @p addr's set: an invalid way if any,
+     * else the LRU non-pinned way.
+     * @return the line to fill (caller handles writeback of its old
+     *         contents), or nullptr if every way is pinned.
+     */
+    CacheLine *allocate(Addr addr);
+
+    /** Refresh LRU on an access. */
+    void
+    touch(CacheLine &line)
+    {
+        line.lastUse = ++_useClock;
+    }
+
+    unsigned sets() const { return _sets; }
+    unsigned assoc() const { return _assoc; }
+    unsigned lineCount() const { return _sets * _assoc; }
+
+    /** Lines currently valid (footprint, for tests). */
+    unsigned validLines() const;
+
+  private:
+    unsigned setIndex(Addr addr) const;
+
+    unsigned _sets;
+    unsigned _assoc;
+    std::uint64_t _useClock = 0;
+    std::vector<CacheLine> _lines; ///< sets x assoc, row-major
+};
+
+} // namespace cenju
+
+#endif // CENJU_PROTOCOL_CACHE_HH

@@ -1,0 +1,48 @@
+#include "protocol/coh_msg.hh"
+
+namespace cenju
+{
+
+const char *
+cohMsgTypeName(CohMsgType t)
+{
+    switch (t) {
+      case CohMsgType::ReadShared:
+        return "ReadShared";
+      case CohMsgType::ReadExclusive:
+        return "ReadExclusive";
+      case CohMsgType::Ownership:
+        return "Ownership";
+      case CohMsgType::WriteBack:
+        return "WriteBack";
+      case CohMsgType::FwdReadShared:
+        return "FwdReadShared";
+      case CohMsgType::FwdReadExclusive:
+        return "FwdReadExclusive";
+      case CohMsgType::Invalidate:
+        return "Invalidate";
+      case CohMsgType::SlaveAck:
+        return "SlaveAck";
+      case CohMsgType::SlaveData:
+        return "SlaveData";
+      case CohMsgType::InvAck:
+        return "InvAck";
+      case CohMsgType::GrantShared:
+        return "GrantShared";
+      case CohMsgType::GrantExclusive:
+        return "GrantExclusive";
+      case CohMsgType::GrantModified:
+        return "GrantModified";
+      case CohMsgType::GrantOwnership:
+        return "GrantOwnership";
+      case CohMsgType::Nack:
+        return "Nack";
+      case CohMsgType::UpdateWrite:
+        return "UpdateWrite";
+      case CohMsgType::UpdateAck:
+        return "UpdateAck";
+    }
+    return "?";
+}
+
+} // namespace cenju

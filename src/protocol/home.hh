@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Home module: the directory side of the coherence protocol
+ * (paper section 3.3 and appendix).
+ *
+ * Implements the full appendix state machine over {C,D,Ps,Pe,Pi}
+ * memory states, the starvation-free *queuing* protocol (requests
+ * that hit a pending block are parked in a main-memory FIFO, gated
+ * by the per-entry reservation bit) and, for comparison, the
+ * DASH-style *nack* protocol. Invalidations use the network's
+ * multicast and gathering functions when more than one slave is
+ * targeted; a serial-unicast mode reproduces the paper's
+ * no-multicast estimate.
+ */
+
+#ifndef CENJU_PROTOCOL_HOME_HH
+#define CENJU_PROTOCOL_HOME_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "directory/directory.hh"
+#include "memory/msg_queue.hh"
+#include "protocol/coh_msg.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cenju
+{
+
+class DsmNode;
+
+/** A request parked in the home's main-memory queue (64 bits). */
+struct QueuedReq
+{
+    CohMsgType type;
+    Addr addr;
+    NodeId master;
+    std::uint8_t mshr;
+};
+
+/** Directory-side protocol engine of one node. */
+class HomeModule
+{
+  public:
+    explicit HomeModule(DsmNode &node);
+
+    /** A home-bound message arrived (request or slave reply). */
+    void enqueueInput(std::unique_ptr<CohPacket> pkt);
+
+    /** The node's output path has room again (ablation mode). */
+    void outputSpaceAvailable();
+
+    /** Messages waiting in the input buffer (for stats/tests). */
+    std::size_t inputBacklog() const { return _input.size(); }
+
+    Directory &directory() { return _dir; }
+    const MsgQueue<QueuedReq> &requestQueue() const
+    {
+        return _reqQueue;
+    }
+
+    /** Pending directory operations in flight. */
+    std::size_t pendingOps() const { return _pending.size(); }
+
+    // statistics
+    Counter requestsProcessed;
+    Counter requestsQueued;
+    Counter nacksSent;
+    Counter invalidationMulticasts;
+    Counter invalidationUnicasts;
+    Counter writebacksProcessed;
+    Counter gatherWaits;
+    SampleStat queueWaitDepth;
+
+  private:
+    struct PendingOp
+    {
+        enum class Wait
+        {
+            SlaveReply, ///< forwarded to the owner
+            GatherAck,  ///< multicast invalidations, gathered ack
+            SerialAcks, ///< unicast invalidations, counted acks
+        };
+
+        CohMsgType reqType; ///< ReadShared / ReadExclusive /
+                            ///< Ownership
+        NodeId master;
+        std::uint8_t mshr;
+        Wait wait = Wait::SlaveReply;
+        unsigned acksLeft = 0;
+        bool usesGatherUnit = false;
+    };
+
+    /** Invalidation round parked while the gather unit is busy. */
+    struct WaitingMulticast
+    {
+        Addr addr;
+    };
+
+    void processNext();
+
+    /** Dispatch one message; returns the busy time consumed. */
+    Tick dispatch(CohPacket &pkt);
+
+    Tick handleRequest(const CohPacket &pkt, Tick t);
+    Tick handleRequestAs(CohMsgType type, Addr addr, NodeId master,
+                         std::uint8_t mshr, Tick t);
+    Tick handleWriteBack(const CohPacket &pkt, Tick t);
+    Tick handleSlaveReply(const CohPacket &pkt, Tick t);
+    Tick handleInvAck(const CohPacket &pkt, Tick t);
+
+    /** Park a request in the memory queue (queuing protocol). */
+    Tick queueRequest(CohMsgType type, Addr addr, NodeId master,
+                      std::uint8_t mshr, Tick t);
+
+    /** Reservation-bit-driven scan after a reply (section 3.3). */
+    Tick afterReply(Addr addr, Tick t);
+
+    /**
+     * Launch the invalidation round for @p addr at busy-offset
+     * @p t. Destinations mirror the directory structure; replies
+     * are gathered when the multicast path is used.
+     */
+    Tick startInvalidation(Addr addr, Tick t);
+
+    /** Complete a pending op with a grant to the master. */
+    Tick completePending(Addr addr, Tick t);
+
+    /** Emit @p pkt at busy-offset @p t from now. */
+    void emitAt(Tick t, std::unique_ptr<CohPacket> pkt);
+
+    DirectoryEntry &entryFor(Addr addr);
+
+    DsmNode &_node;
+    Directory _dir;
+    MsgQueue<QueuedReq> _reqQueue;
+    std::unordered_map<Addr, PendingOp> _pending;
+    std::deque<std::unique_ptr<CohPacket>> _input;
+    std::deque<WaitingMulticast> _gatherWait;
+    bool _busy = false;
+    bool _gatherBusy = false;
+    bool _stalledOnOutput = false;
+};
+
+} // namespace cenju
+
+#endif // CENJU_PROTOCOL_HOME_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Master module: the processor side of the coherence protocol.
+ *
+ * Accepts load/store requests for private and shared addresses,
+ * manages the secondary cache and up to four outstanding shared
+ * requests (MSHRs, matching the R10000's limit), issues the four
+ * request types of the appendix, and completes accesses when grants
+ * return. Handles the ownership race: if the line was invalidated
+ * while an ownership request was in flight, the grant is useless
+ * and the request is re-issued as a read-exclusive.
+ */
+
+#ifndef CENJU_PROTOCOL_MASTER_HH
+#define CENJU_PROTOCOL_MASTER_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "protocol/cache.hh"
+#include "protocol/coh_msg.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cenju
+{
+
+class DsmNode;
+
+/** Classification of a memory access for statistics (Table 3/4). */
+enum class AccessClass
+{
+    Private,
+    SharedLocal,
+    SharedRemote,
+};
+
+/** Processor-side protocol engine of one node. */
+class MasterModule
+{
+  public:
+    using LoadCallback = std::function<void(std::uint64_t)>;
+    using StoreCallback = std::function<void()>;
+
+    explicit MasterModule(DsmNode &node);
+
+    /** True if an MSHR is free (a new shared miss can issue). */
+    bool canIssue() const;
+
+    /**
+     * Issue a 64-bit load at @p addr; @p done fires with the value
+     * when the access graduates.
+     */
+    void load(Addr addr, LoadCallback done);
+
+    /** Issue a 64-bit store of @p value at @p addr. */
+    void store(Addr addr, std::uint64_t value, StoreCallback done);
+
+    /** A grant (or nack) arrived from a home. */
+    void handleGrant(const CohPacket &pkt);
+
+    /** Classify @p addr relative to this node. */
+    AccessClass classify(Addr addr) const;
+
+    /** Outstanding shared requests right now. */
+    unsigned outstanding() const;
+
+    // statistics, aggregated by the system layer
+    Counter loads;
+    Counter stores;
+    Counter cacheHits;
+    Counter cacheMisses;
+    Counter missPrivate;
+    Counter missSharedLocal;
+    Counter missSharedRemote;
+    Counter accPrivate;
+    Counter accSharedLocal;
+    Counter accSharedRemote;
+    Counter writebacks;
+    Counter nackRetries;
+    Counter ownershipReissues;
+    Counter updateStores;
+    SampleStat loadMissLatency;
+    SampleStat storeMissLatency;
+
+  private:
+    struct Mshr
+    {
+        bool busy = false;
+        Addr blockAddr = 0;
+        CohMsgType reqType = CohMsgType::ReadShared;
+        bool isStore = false;
+        Addr addr = 0;
+        std::uint64_t storeValue = 0;
+        LoadCallback loadDone;
+        StoreCallback storeDone;
+        Tick issueTick = 0;
+    };
+
+    /** An access parked behind an outstanding same-block request. */
+    struct Deferred
+    {
+        Addr blockAddr;
+        Addr addr;
+        bool isStore;
+        std::uint64_t storeValue;
+        LoadCallback loadDone;
+        StoreCallback storeDone;
+    };
+
+    void accessPrivate(Addr addr, bool is_store,
+                       std::uint64_t value, LoadCallback ldone,
+                       StoreCallback sdone);
+
+    /**
+     * Store to a replicated (update-protocol) word: apply locally,
+     * multicast the update to every replica, complete on the
+     * gathered acknowledgement. One update round in flight per
+     * node (the gather identifier is the writer's node id).
+     */
+    void updateStore(Addr addr, std::uint64_t value,
+                     StoreCallback done);
+    void launchUpdate();
+    void handleUpdateAck();
+    void missShared(Addr addr, bool is_store, std::uint64_t value,
+                    LoadCallback ldone, StoreCallback sdone,
+                    CohMsgType req);
+    void replayDeferred(Addr block_addr);
+    void sendRequest(unsigned slot);
+    void complete(unsigned slot, std::uint64_t load_value);
+
+    /**
+     * Install @p data into the cache for @p mshr's block in @p state;
+     * evicts (and writes back) a victim if needed.
+     */
+    CacheLine *install(Addr block_addr, const Block &data,
+                       CacheState state);
+
+    /** Evict @p line, emitting a writeback if it is dirty-shared. */
+    void evict(CacheLine &line);
+
+    struct PendingUpdate
+    {
+        Addr addr;
+        std::uint64_t value;
+        StoreCallback done;
+    };
+
+    DsmNode &_node;
+    std::array<Mshr, maxOutstanding> _mshrs;
+    std::deque<Deferred> _deferred;
+    std::deque<PendingUpdate> _updates;
+    bool _updateBusy = false;
+};
+
+} // namespace cenju
+
+#endif // CENJU_PROTOCOL_MASTER_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Protocol/node configuration.
+ */
+
+#ifndef CENJU_PROTOCOL_PROTO_CONFIG_HH
+#define CENJU_PROTOCOL_PROTO_CONFIG_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "directory/node_map.hh"
+#include "sim/timing.hh"
+#include "sim/types.hh"
+
+namespace cenju
+{
+
+/** Coherence-protocol flavour. */
+enum class ProtocolKind
+{
+    Queuing, ///< Cenju-4: park conflicting requests in memory
+    Nack,    ///< DASH-style: negative-acknowledge and retry
+};
+
+/** Per-node protocol and cache parameters. */
+struct ProtocolConfig
+{
+    /** Protocol flavour (Figure 6 comparison). */
+    ProtocolKind protocol = ProtocolKind::Queuing;
+
+    /** Directory node-map scheme. */
+    NodeMapKind directoryScheme =
+        NodeMapKind::CenjuPointerBitPattern;
+
+    /** Use the network's multicast+gather for invalidations when
+     * more than one slave is targeted (Figure 10 ablation). */
+    bool useMulticast = true;
+
+    /** Secondary cache capacity in bytes (Cenju-4: 1 MB). */
+    unsigned cacheBytes = 1u << 20;
+
+    /** Secondary cache associativity (R10000 L2: 2-way). */
+    unsigned cacheAssoc = 2;
+
+    /** Slave-module hardware input buffer, in messages. */
+    unsigned slaveHwBuffer = 4;
+
+    /** Home-module hardware output buffer, in messages. */
+    unsigned homeHwOutBuffer = 4;
+
+    /**
+     * Enable the section 3.4 main-memory overflow queues. When
+     * false, the slave input and home output are limited to their
+     * hardware buffers and exert back-pressure into the network —
+     * the deadlockable configuration (ablation A4).
+     */
+    bool deadlockAvoidance = true;
+
+    /** Timing constants. */
+    TimingParams timing;
+
+    /**
+     * Replicated (update-protocol) private address ranges — the
+     * paper's future-work extension: arrays whose per-node local
+     * copies are kept coherent by multicast word updates instead of
+     * invalidations, so loads are always satisfied locally.
+     * Shared by every node; DsmSystem appends ranges as replicated
+     * arrays are allocated.
+     */
+    std::shared_ptr<std::vector<std::pair<Addr, Addr>>>
+        replicatedRanges =
+            std::make_shared<
+                std::vector<std::pair<Addr, Addr>>>();
+
+    /** True if private address @p a lies in a replicated range. */
+    bool
+    isReplicated(Addr a) const
+    {
+        for (const auto &[lo, hi] : *replicatedRanges) {
+            if (a >= lo && a < hi)
+                return true;
+        }
+        return false;
+    }
+};
+
+} // namespace cenju
+
+#endif // CENJU_PROTOCOL_PROTO_CONFIG_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives one simulated system. Events are
+ * arbitrary callables scheduled at absolute ticks; ties are broken by
+ * insertion order so simulations are fully deterministic.
+ */
+
+#ifndef CENJU_SIM_EVENT_QUEUE_HH
+#define CENJU_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace cenju
+{
+
+/**
+ * Time-ordered queue of callbacks; the heart of the simulator.
+ *
+ * All components sharing a system hold a reference to the same queue.
+ * The queue is not thread-safe; a system is simulated on one thread.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        if (when < _now)
+            panic("scheduling event in the past (%llu < %llu)",
+                  (unsigned long long)when, (unsigned long long)_now);
+        _events.push(Entry{when, _nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(_now + delay, std::move(cb));
+    }
+
+    /** True if no events remain. */
+    bool empty() const { return _events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _events.size(); }
+
+    /** Time of the next pending event (maxTick if none). */
+    Tick
+    nextEventTick() const
+    {
+        return _events.empty() ? maxTick : _events.top().when;
+    }
+
+    /**
+     * Run one event; advances now() to its timestamp.
+     * @retval true if an event ran, false if the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (_events.empty())
+            return false;
+        // The callback may schedule new events, so move it out first.
+        Entry e = std::move(const_cast<Entry &>(_events.top()));
+        _events.pop();
+        _now = e.when;
+        ++_executed;
+        e.cb();
+        return true;
+    }
+
+    /** Run until the queue drains. @return number of events run. */
+    std::uint64_t
+    run()
+    {
+        std::uint64_t n = 0;
+        while (runOne())
+            ++n;
+        return n;
+    }
+
+    /**
+     * Run events with timestamps <= @p limit; leaves later events
+     * queued and advances now() to min(limit, last event time).
+     */
+    std::uint64_t
+    runUntil(Tick limit)
+    {
+        std::uint64_t n = 0;
+        while (!_events.empty() && _events.top().when <= limit) {
+            runOne();
+            ++n;
+        }
+        if (_now < limit && _events.empty())
+            _now = limit;
+        return n;
+    }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        _events;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace cenju
+
+#endif // CENJU_SIM_EVENT_QUEUE_HH

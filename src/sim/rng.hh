@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and
+ * Monte Carlo experiments (xoshiro256** plus helpers).
+ *
+ * We avoid std::mt19937 so that results are bit-identical across
+ * standard libraries, keeping EXPERIMENTS.md reproducible.
+ */
+
+#ifndef CENJU_SIM_RNG_HH
+#define CENJU_SIM_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cenju
+{
+
+/** xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding, as the xoshiro authors recommend.
+        std::uint64_t x = seed;
+        for (auto &word : s) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation, simplified
+        // with a rejection loop to stay unbiased.
+        std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            // Use 128-bit multiply to map r into [0, bound).
+            unsigned __int128 m =
+                static_cast<unsigned __int128>(r) * bound;
+            auto lo = static_cast<std::uint64_t>(m);
+            if (lo >= threshold)
+                return static_cast<std::uint64_t>(m >> 64);
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+    /**
+     * Sample @p k distinct values from [0, n) (Floyd's algorithm
+     * flavoured as partial Fisher-Yates for small k).
+     */
+    std::vector<std::uint32_t>
+    sampleDistinct(std::uint32_t k, std::uint32_t n)
+    {
+        std::vector<std::uint32_t> pool(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            pool[i] = i;
+        if (k > n)
+            k = n;
+        for (std::uint32_t i = 0; i < k; ++i) {
+            auto j = static_cast<std::uint32_t>(range(i, n - 1));
+            std::swap(pool[i], pool[j]);
+        }
+        pool.resize(k);
+        return pool;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace cenju
+
+#endif // CENJU_SIM_RNG_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * CG, dsm(1): the sequential program with the row loop split over
+ * nodes and the vectors placed in shared memory.
+ *
+ * Each node computes its row range, but the gathers still reach
+ * pseudo-random columns of the whole shared vector — with or
+ * without a data mapping, roughly (N-1)/N of the misses are remote
+ * (the paper's Table 3 shows CG's characteristics are unchanged by
+ * mappings, and section 4.2.3 explains why its speedup saturates).
+ */
+
+#include "workload/kernels/kernels.hh"
+
+namespace cenju
+{
+namespace kernels
+{
+namespace
+{
+
+class CgDsm1 : public NpbApp
+{
+  public:
+    explicit CgDsm1(const NpbConfig &cfg) : _cfg(cfg) {}
+
+    void
+    setup(DsmSystem &sys) override
+    {
+        Mapping map = _cfg.dataMappings ? Mapping::blocked()
+                                        : Mapping::blockCyclic();
+        _x = sys.shmAlloc(_cfg.cgRows, map);
+        _y = sys.shmAlloc(_cfg.cgRows, map);
+    }
+
+    Task
+    program(Env &env) override
+    {
+        const unsigned n = _cfg.cgRows;
+        const unsigned work =
+            _cfg.pointWork ? _cfg.pointWork : cgTermWork;
+        const unsigned nnz = _cfg.cgNnzPerRow;
+        const unsigned p = env.numNodes();
+        const NodeId me = env.id();
+        const unsigned i0 = me * n / p, i1 = (me + 1) * n / p;
+
+        // Initial iterate (owned range).
+        for (unsigned i = i0; i < i1; ++i)
+            co_await env.put(_x, i, 1.0 + (i % 7) * 0.125);
+        co_await env.barrier();
+
+        double rho = 0.0;
+        for (unsigned iter = 0; iter < _cfg.iterations; ++iter) {
+            // y = A x over the owned rows.
+            for (unsigned i = i0; i < i1; ++i) {
+                double sum = 0.0;
+                for (unsigned k = 0; k < nnz; ++k) {
+                    unsigned j = cgColumn(i, k, n);
+                    double xj = co_await env.get(_x, j);
+                    sum += xj / double(nnz);
+                    co_await env.compute(work);
+                }
+                co_await env.put(_y, i, sum);
+            }
+            co_await env.barrier();
+            // rho = y . y via partial sums and a reduction.
+            double part = 0.0;
+            for (unsigned i = i0; i < i1; ++i) {
+                double yi = co_await env.get(_y, i);
+                part += yi * yi;
+            }
+            rho = co_await env.allReduceSum(part);
+            double inv = 1.0 / std::sqrt(rho);
+            for (unsigned i = i0; i < i1; ++i) {
+                double yi = co_await env.get(_y, i);
+                co_await env.put(_x, i, yi * inv);
+            }
+            co_await env.barrier();
+        }
+        if (env.id() == 0)
+            _rho = rho;
+    }
+
+    double checksum() const override { return _rho; }
+
+  private:
+    NpbConfig _cfg;
+    ShmArray _x;
+    ShmArray _y;
+    double _rho = 0.0;
+};
+
+} // namespace
+
+std::unique_ptr<NpbApp>
+makeCgDsm1(const NpbConfig &cfg)
+{
+    return std::make_unique<CgDsm1>(cfg);
+}
+
+} // namespace kernels
+} // namespace cenju

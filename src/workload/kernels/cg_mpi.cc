@@ -1,0 +1,122 @@
+/**
+ * @file
+ * CG, MPI program: ring allgather of the iterate vector each
+ * iteration, then fully private gathers.
+ *
+ * This is the classic message-passing answer to CG's unstructured
+ * reads: replicate the vector so every gather is local. The price
+ * is an allgather whose volume does not shrink with the node
+ * count, so CG remains the worst scaling application in either
+ * programming model.
+ */
+
+#include "workload/kernels/kernels.hh"
+
+namespace cenju
+{
+namespace kernels
+{
+namespace
+{
+
+constexpr int tagRing = 200;
+
+class CgMpi : public NpbApp
+{
+  public:
+    explicit CgMpi(const NpbConfig &cfg) : _cfg(cfg) {}
+
+    void
+    setup(DsmSystem &sys) override
+    {
+        _x = sys.privAlloc(_cfg.cgRows);
+        _y = sys.privAlloc(_cfg.cgRows);
+    }
+
+    Task
+    program(Env &env) override
+    {
+        const unsigned n = _cfg.cgRows;
+        const unsigned work =
+            _cfg.pointWork ? _cfg.pointWork : cgTermWork;
+        const unsigned nnz = _cfg.cgNnzPerRow;
+        const unsigned p = env.numNodes();
+        const NodeId me = env.id();
+        const unsigned i0 = me * n / p, i1 = (me + 1) * n / p;
+
+        // Initial iterate: every node fills its full private copy.
+        for (unsigned i = 0; i < n; ++i)
+            co_await env.put(_x, i, 1.0 + (i % 7) * 0.125);
+
+        double rho = 0.0;
+        for (unsigned iter = 0; iter < _cfg.iterations; ++iter) {
+            // y = A x over the owned rows, all gathers private.
+            for (unsigned i = i0; i < i1; ++i) {
+                double sum = 0.0;
+                for (unsigned k = 0; k < nnz; ++k) {
+                    unsigned j = cgColumn(i, k, n);
+                    double xj = co_await env.get(_x, j);
+                    sum += xj / double(nnz);
+                    co_await env.compute(work);
+                }
+                co_await env.put(_y, i, sum);
+            }
+            // rho = y . y via a reduction over the owned rows.
+            double part = 0.0;
+            for (unsigned i = i0; i < i1; ++i) {
+                double yi = co_await env.get(_y, i);
+                part += yi * yi;
+            }
+            rho = co_await env.allReduceSum(part);
+            double inv = 1.0 / std::sqrt(rho);
+            for (unsigned i = i0; i < i1; ++i) {
+                double yi = co_await env.get(_y, i);
+                co_await env.put(_x, i, yi * inv);
+            }
+
+            // Recursive-doubling allgather: log2(p) exchange
+            // rounds; in round k each node swaps its accumulated
+            // index range with partner me XOR 2^k, so after the
+            // last round every node holds the full iterate.
+            // (Requires a power-of-two node count, like many real
+            // collectives; the benches use powers of two.)
+            for (unsigned bit = 1; bit < p; bit <<= 1) {
+                NodeId partner = me ^ bit;
+                unsigned mine_lo = (me & ~(bit - 1)) * n / p;
+                unsigned mine_hi =
+                    ((me & ~(bit - 1)) + bit) * n / p;
+                auto chunk = co_await env.readRange(
+                    _x, mine_lo, mine_hi - mine_lo);
+                co_await env.send(partner, tagRing + int(bit),
+                                  std::move(chunk));
+                auto in =
+                    co_await env.recv(partner, tagRing + int(bit));
+                unsigned theirs_lo =
+                    (partner & ~(bit - 1)) * n / p;
+                co_await env.writeRange(_x, theirs_lo,
+                                        std::move(in));
+            }
+        }
+        if (env.id() == 0)
+            _rho = rho;
+    }
+
+    double checksum() const override { return _rho; }
+
+  private:
+    NpbConfig _cfg;
+    PrivArray _x;
+    PrivArray _y;
+    double _rho = 0.0;
+};
+
+} // namespace
+
+std::unique_ptr<NpbApp>
+makeCgMpi(const NpbConfig &cfg)
+{
+    return std::make_unique<CgMpi>(cfg);
+}
+
+} // namespace kernels
+} // namespace cenju

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * CG, sequential program (mini-kernel).
+ *
+ * Conjugate-gradient-style kernel: repeated sparse matrix-vector
+ * products where row i gathers from pseudo-random columns of the
+ * iterate vector — the unstructured access pattern that makes CG
+ * the paper's hardest case (section 4.2.3): every node eventually
+ * touches every part of the vector, so shared reuse shrinks as the
+ * node count grows.
+ */
+
+#include "workload/kernels/kernels.hh"
+
+namespace cenju
+{
+namespace kernels
+{
+namespace
+{
+
+class CgSeq : public NpbApp
+{
+  public:
+    explicit CgSeq(const NpbConfig &cfg) : _cfg(cfg) {}
+
+    void
+    setup(DsmSystem &sys) override
+    {
+        _x = sys.privAlloc(_cfg.cgRows);
+        _y = sys.privAlloc(_cfg.cgRows);
+    }
+
+    Task
+    program(Env &env) override
+    {
+        const unsigned n = _cfg.cgRows;
+        const unsigned work =
+            _cfg.pointWork ? _cfg.pointWork : cgTermWork;
+        const unsigned nnz = _cfg.cgNnzPerRow;
+        const unsigned i0 = 0, i1 = n;
+
+        // Initial iterate.
+        for (unsigned i = i0; i < i1; ++i)
+            co_await env.put(_x, i, 1.0 + (i % 7) * 0.125);
+
+        double rho = 0.0;
+        for (unsigned iter = 0; iter < _cfg.iterations; ++iter) {
+            // y = A x  (A's sparsity from the hash; values 1/nnz).
+            for (unsigned i = i0; i < i1; ++i) {
+                double sum = 0.0;
+                for (unsigned k = 0; k < nnz; ++k) {
+                    unsigned j = cgColumn(i, k, n);
+                    double xj = co_await env.get(_x, j);
+                    sum += xj / double(nnz);
+                    co_await env.compute(work);
+                }
+                co_await env.put(_y, i, sum);
+            }
+            // rho = y . y, then x <- y / sqrt(rho) (normalize).
+            double part = 0.0;
+            for (unsigned i = i0; i < i1; ++i) {
+                double yi = co_await env.get(_y, i);
+                part += yi * yi;
+            }
+            rho = part;
+            double inv = 1.0 / std::sqrt(rho);
+            for (unsigned i = i0; i < i1; ++i) {
+                double yi = co_await env.get(_y, i);
+                co_await env.put(_x, i, yi * inv);
+            }
+        }
+        _rho = rho;
+    }
+
+    double checksum() const override { return _rho; }
+
+  private:
+    NpbConfig _cfg;
+    PrivArray _x;
+    PrivArray _y;
+    double _rho = 0.0;
+};
+
+} // namespace
+
+std::unique_ptr<NpbApp>
+makeCgSeq(const NpbConfig &cfg)
+{
+    return std::make_unique<CgSeq>(cfg);
+}
+
+} // namespace kernels
+} // namespace cenju

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * FT, dsm(1): the sequential program with each phase's row loop
+ * split over nodes and both grids declared shared. The loop bodies
+ * — including the naive strided transpose — are untouched, so the
+ * transpose writes scatter across every node's memory one element
+ * at a time.
+ */
+
+#include "workload/kernels/kernels.hh"
+
+namespace cenju
+{
+namespace kernels
+{
+namespace
+{
+
+class FtDsm1 : public NpbApp
+{
+  public:
+    explicit FtDsm1(const NpbConfig &cfg) : _cfg(cfg) {}
+
+    void
+    setup(DsmSystem &sys) override
+    {
+        unsigned n = _cfg.grid;
+        if (sys.numNodes() > n * n)
+            fatal("FT dsm1: %u nodes exceed %u rows",
+                  sys.numNodes(), n * n);
+        Mapping map = _cfg.dataMappings ? Mapping::blocked()
+                                        : Mapping::blockCyclic();
+        _u = sys.shmAlloc(std::size_t(n) * n * n, map);
+        _v = sys.shmAlloc(std::size_t(n) * n * n, map);
+    }
+
+    Task
+    program(Env &env) override
+    {
+        const unsigned n = _cfg.grid;
+        const unsigned work =
+            _cfg.pointWork ? _cfg.pointWork : ftPointWork;
+        const unsigned p = env.numNodes();
+        const NodeId me = env.id();
+        const unsigned rows = n * n;
+        const unsigned r0 = me * rows / p, r1 = (me + 1) * rows / p;
+        auto idx = [n](unsigned r, unsigned x) {
+            return std::size_t(r) * n + x;
+        };
+        ShmArray ua = _u, va = _v;
+
+        // Initialize the rows (row r holds (z, y) = (r/n, r%n)).
+        for (unsigned r = r0; r < r1; ++r) {
+            unsigned z = r / n, y = r % n;
+            for (unsigned x = 0; x < n; ++x) {
+                double val = std::sin(0.1 * (x + 3 * y + 7 * z));
+                co_await env.put(ua, idx(r, x), val);
+            }
+        }
+        co_await env.barrier();
+
+        for (unsigned iter = 0; iter < _cfg.iterations; ++iter) {
+            // Pass 1: transform along x for every row.
+            for (unsigned r = r0; r < r1; ++r) {
+                for (unsigned x = 0; x < n; ++x) {
+                    double val = co_await env.get(ua, idx(r, x));
+                    co_await env.compute(work);
+                    co_await env.put(ua, idx(r, x),
+                                     val * 0.5 + 0.25);
+                }
+            }
+            co_await env.barrier();
+            // Transpose z <-> x: element (r=(z,y), x) lands in the
+            // transposed row tr = x*n + y at position z.
+            for (unsigned r = r0; r < r1; ++r) {
+                unsigned z = r / n, y = r % n;
+                for (unsigned x = 0; x < n; ++x) {
+                    unsigned tr = x * n + y;
+                    double val = co_await env.get(ua, idx(r, x));
+                    co_await env.put(va, idx(tr, z), val);
+                }
+            }
+            co_await env.barrier();
+            // Pass 2: transform the transposed rows.
+            for (unsigned r = r0; r < r1; ++r) {
+                for (unsigned x = 0; x < n; ++x) {
+                    double val = co_await env.get(va, idx(r, x));
+                    co_await env.compute(work);
+                    co_await env.put(va, idx(r, x),
+                                     val * 0.5 + 0.25);
+                }
+            }
+            co_await env.barrier();
+            std::swap(ua, va);
+        }
+
+        // Verification checksum.
+        double sum = 0.0;
+        for (unsigned r = r0; r < r1; ++r) {
+            for (unsigned x = 0; x < n; ++x) {
+                sum += co_await env.get(ua, idx(r, x));
+            }
+        }
+        double total = co_await env.allReduceSum(sum);
+        if (env.id() == 0)
+            _sum = total;
+    }
+
+    double checksum() const override { return _sum; }
+
+  private:
+    NpbConfig _cfg;
+    ShmArray _u;
+    ShmArray _v;
+    double _sum = 0.0;
+};
+
+} // namespace
+
+std::unique_ptr<NpbApp>
+makeFtDsm1(const NpbConfig &cfg)
+{
+    return std::make_unique<FtDsm1>(cfg);
+}
+
+} // namespace kernels
+} // namespace cenju

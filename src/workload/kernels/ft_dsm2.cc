@@ -1,0 +1,180 @@
+/**
+ * @file
+ * FT, dsm(2): the tuned shared-memory program.
+ *
+ * Transform passes run on a private copy of the owned rows. The
+ * transpose goes through a shared exchange region organized as one
+ * dense chunk per (writer, reader) pair, homed at the reader —
+ * the shared-memory analog of an explicit all-to-all: the writer's
+ * stores are contiguous (amortized over whole 128-byte blocks, no
+ * two writers sharing a block) and the reader's loads are local.
+ * Pack/unpack order is the writer's loop order, which the reader
+ * reproduces.
+ */
+
+#include "workload/kernels/kernels.hh"
+
+namespace cenju
+{
+namespace kernels
+{
+namespace
+{
+
+class FtDsm2 : public NpbApp
+{
+  public:
+    explicit FtDsm2(const NpbConfig &cfg) : _cfg(cfg) {}
+
+    void
+    setup(DsmSystem &sys) override
+    {
+        unsigned n = _cfg.grid;
+        unsigned p = sys.numNodes();
+        if (p > n * n)
+            fatal("FT dsm2: %u nodes exceed %u rows", p, n * n);
+        std::size_t max_rows = (std::size_t(n) * n + p - 1) / p + 1;
+        _up = sys.privAlloc(max_rows * n);
+        _vp = sys.privAlloc(max_rows * n);
+
+        // Capacity of one (writer, reader) chunk, rounded up to
+        // whole blocks: per source row at most ceil(rows/(p*n))+1
+        // elements land at one destination.
+        std::size_t rows = std::size_t(n) * n;
+        std::size_t per_pair =
+            (rows / p + 1) * (rows / (std::size_t(p) * n) + 2);
+        _chunkWords = ((per_pair + 15) / 16) * 16;
+
+        // exch[(d * p + s) * chunkWords + k]: blocked mapping over
+        // d-major order homes each reader's chunks at the reader.
+        Mapping map = _cfg.dataMappings ? Mapping::blocked()
+                                        : Mapping::blockCyclic();
+        _exch = sys.shmAlloc(std::size_t(p) * p * _chunkWords, map);
+    }
+
+    Task
+    program(Env &env) override
+    {
+        const unsigned n = _cfg.grid;
+        const unsigned work =
+            _cfg.pointWork ? _cfg.pointWork : ftPointWork;
+        const unsigned p = env.numNodes();
+        const NodeId me = env.id();
+        const unsigned rows = n * n;
+        const unsigned r0 = me * rows / p, r1 = (me + 1) * rows / p;
+        auto idx = [n, r0](unsigned r, unsigned x) {
+            return std::size_t(r - r0) * n + x;
+        };
+        PrivArray ua = _up, va = _vp;
+
+        // Initialize the rows (row r holds (z, y) = (r/n, r%n)).
+        for (unsigned r = r0; r < r1; ++r) {
+            unsigned z = r / n, y = r % n;
+            for (unsigned x = 0; x < n; ++x) {
+                double val = std::sin(0.1 * (x + 3 * y + 7 * z));
+                co_await env.put(ua, idx(r, x), val);
+            }
+        }
+        co_await env.barrier();
+
+        for (unsigned iter = 0; iter < _cfg.iterations; ++iter) {
+            // Pass 1: transform along x for every row.
+            for (unsigned r = r0; r < r1; ++r) {
+                for (unsigned x = 0; x < n; ++x) {
+                    double val = co_await env.get(ua, idx(r, x));
+                    co_await env.compute(work);
+                    co_await env.put(ua, idx(r, x),
+                                     val * 0.5 + 0.25);
+                }
+            }
+
+            // Pack into each reader's dense chunk (contiguous
+            // remote stores, no block shared between writers).
+            for (unsigned d = 0; d < p; ++d) {
+                unsigned d0 = d * rows / p, d1 = (d + 1) * rows / p;
+                std::size_t base =
+                    (std::size_t(d) * p + me) * _chunkWords;
+                std::size_t k = 0;
+                for (unsigned r = r0; r < r1; ++r) {
+                    unsigned y = r % n;
+                    for (unsigned x = 0; x < n; ++x) {
+                        unsigned tr = x * n + y;
+                        if (tr < d0 || tr >= d1)
+                            continue;
+                        double val = co_await env.get(
+                            ua, idx(r, x));
+                        co_await env.put(_exch, base + k, val);
+                        ++k;
+                    }
+                }
+            }
+            co_await env.barrier();
+
+            // Unpack every writer's chunk (local loads) by
+            // replaying its packing order.
+            for (unsigned s = 0; s < p; ++s) {
+                unsigned s0 = s * rows / p, s1 = (s + 1) * rows / p;
+                std::size_t base =
+                    (std::size_t(me) * p + s) * _chunkWords;
+                std::size_t k = 0;
+                for (unsigned r = s0; r < s1; ++r) {
+                    unsigned z = r / n, y = r % n;
+                    for (unsigned x = 0; x < n; ++x) {
+                        unsigned tr = x * n + y;
+                        if (tr < r0 || tr >= r1)
+                            continue;
+                        double val =
+                            co_await env.get(_exch, base + k);
+                        ++k;
+                        co_await env.put(
+                            va, idx(tr, z), val);
+                    }
+                }
+            }
+            co_await env.barrier();
+
+            // Pass 2: transform the transposed rows.
+            for (unsigned r = r0; r < r1; ++r) {
+                for (unsigned x = 0; x < n; ++x) {
+                    double val = co_await env.get(va, idx(r, x));
+                    co_await env.compute(work);
+                    co_await env.put(va, idx(r, x),
+                                     val * 0.5 + 0.25);
+                }
+            }
+            std::swap(ua, va);
+        }
+
+        // Verification checksum.
+        double sum = 0.0;
+        for (unsigned r = r0; r < r1; ++r) {
+            for (unsigned x = 0; x < n; ++x) {
+                sum += co_await env.get(ua, idx(r, x));
+            }
+        }
+        double total = co_await env.allReduceSum(sum);
+        if (env.id() == 0)
+            _sum = total;
+    }
+
+    double checksum() const override { return _sum; }
+
+  private:
+    NpbConfig _cfg;
+    PrivArray _up;
+    PrivArray _vp;
+    ShmArray _exch;
+    std::size_t _chunkWords = 16;
+    double _sum = 0.0;
+};
+
+} // namespace
+
+std::unique_ptr<NpbApp>
+makeFtDsm2(const NpbConfig &cfg)
+{
+    return std::make_unique<FtDsm2>(cfg);
+}
+
+} // namespace kernels
+} // namespace cenju

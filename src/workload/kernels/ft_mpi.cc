@@ -1,0 +1,162 @@
+/**
+ * @file
+ * FT, MPI program: private transform passes with an explicit
+ * all-to-all for the transpose, exactly the structure of the given
+ * NPB 2.3 FT code. Each node packs, per destination, the elements
+ * of its rows that land in that destination's transposed rows,
+ * ships them, and unpacks what it receives.
+ */
+
+#include "workload/kernels/kernels.hh"
+
+namespace cenju
+{
+namespace kernels
+{
+namespace
+{
+
+constexpr int tagA2A = 300;
+
+class FtMpi : public NpbApp
+{
+  public:
+    explicit FtMpi(const NpbConfig &cfg) : _cfg(cfg) {}
+
+    void
+    setup(DsmSystem &sys) override
+    {
+        unsigned n = _cfg.grid;
+        unsigned p = sys.numNodes();
+        if (p > n * n)
+            fatal("FT mpi: %u nodes exceed %u rows", p, n * n);
+        std::size_t max_rows = (std::size_t(n) * n + p - 1) / p + 1;
+        _u = sys.privAlloc(max_rows * n);
+        _v = sys.privAlloc(max_rows * n);
+    }
+
+    Task
+    program(Env &env) override
+    {
+        const unsigned n = _cfg.grid;
+        const unsigned work =
+            _cfg.pointWork ? _cfg.pointWork : ftPointWork;
+        const unsigned p = env.numNodes();
+        const NodeId me = env.id();
+        const unsigned rows = n * n;
+        const unsigned r0 = me * rows / p, r1 = (me + 1) * rows / p;
+        auto idx = [n, r0](unsigned r, unsigned x) {
+            return std::size_t(r - r0) * n + x;
+        };
+        PrivArray ua = _u, va = _v;
+
+        // Initialize the rows (row r holds (z, y) = (r/n, r%n)).
+        for (unsigned r = r0; r < r1; ++r) {
+            unsigned z = r / n, y = r % n;
+            for (unsigned x = 0; x < n; ++x) {
+                double val = std::sin(0.1 * (x + 3 * y + 7 * z));
+                co_await env.put(ua, idx(r, x), val);
+            }
+        }
+
+        for (unsigned iter = 0; iter < _cfg.iterations; ++iter) {
+            // Pass 1: transform along x for every row.
+            for (unsigned r = r0; r < r1; ++r) {
+                for (unsigned x = 0; x < n; ++x) {
+                    double val = co_await env.get(ua, idx(r, x));
+                    co_await env.compute(work);
+                    co_await env.put(ua, idx(r, x),
+                                     val * 0.5 + 0.25);
+                }
+            }
+            // Transpose all-to-all: pack, per destination rank, the
+            // elements whose transposed row tr = x*n + y it owns,
+            // as (tr, z, value) records.
+            for (unsigned d = 0; d < p; ++d) {
+                if (d == me)
+                    continue;
+                unsigned d0 = d * rows / p, d1 = (d + 1) * rows / p;
+                std::vector<std::uint64_t> buf;
+                for (unsigned r = r0; r < r1; ++r) {
+                    unsigned z = r / n, y = r % n;
+                    for (unsigned x = 0; x < n; ++x) {
+                        unsigned tr = x * n + y;
+                        if (tr < d0 || tr >= d1)
+                            continue;
+                        double val =
+                            co_await env.get(ua, idx(r, x));
+                        buf.push_back((std::uint64_t(tr) << 40) |
+                                      z);
+                        buf.push_back(Env::bits(val));
+                    }
+                }
+                co_await env.send(d, tagA2A + int(me),
+                                  std::move(buf));
+            }
+            // Local part of the transpose.
+            for (unsigned r = r0; r < r1; ++r) {
+                unsigned z = r / n, y = r % n;
+                for (unsigned x = 0; x < n; ++x) {
+                    unsigned tr = x * n + y;
+                    if (tr < r0 || tr >= r1)
+                        continue;
+                    double val = co_await env.get(ua, idx(r, x));
+                    co_await env.put(va, idx(tr, z), val);
+                }
+            }
+            // Receive and unpack everyone else's contribution.
+            for (unsigned s = 0; s < p; ++s) {
+                if (s == me)
+                    continue;
+                auto buf = co_await env.recv(s, tagA2A + int(s));
+                for (std::size_t i = 0; i + 1 < buf.size();
+                     i += 2) {
+                    unsigned tr = unsigned(buf[i] >> 40);
+                    unsigned zz = unsigned(buf[i] & 0xffffffffu);
+                    co_await env.put(va, idx(tr, zz),
+                                     Env::real(buf[i + 1]));
+                }
+            }
+            // Pass 2: transform the transposed rows.
+            for (unsigned r = r0; r < r1; ++r) {
+                for (unsigned x = 0; x < n; ++x) {
+                    double val = co_await env.get(va, idx(r, x));
+                    co_await env.compute(work);
+                    co_await env.put(va, idx(r, x),
+                                     val * 0.5 + 0.25);
+                }
+            }
+            std::swap(ua, va);
+        }
+
+        // Verification checksum.
+        double sum = 0.0;
+        for (unsigned r = r0; r < r1; ++r) {
+            for (unsigned x = 0; x < n; ++x) {
+                sum += co_await env.get(ua, idx(r, x));
+            }
+        }
+        double total = co_await env.allReduceSum(sum);
+        if (env.id() == 0)
+            _sum = total;
+    }
+
+    double checksum() const override { return _sum; }
+
+  private:
+    NpbConfig _cfg;
+    PrivArray _u;
+    PrivArray _v;
+    double _sum = 0.0;
+};
+
+} // namespace
+
+std::unique_ptr<NpbApp>
+makeFtMpi(const NpbConfig &cfg)
+{
+    return std::make_unique<FtMpi>(cfg);
+}
+
+} // namespace kernels
+} // namespace cenju

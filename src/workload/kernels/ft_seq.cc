@@ -1,0 +1,116 @@
+/**
+ * @file
+ * FT, sequential program (mini-kernel).
+ *
+ * 3D FFT modelled at the memory-system level: a per-point
+ * transform pass over the grid's (z,y) rows, a full transpose
+ * (z <-> x), and a second transform pass on the transposed data.
+ * The transpose is the communication signature that matters: in
+ * parallel variants it becomes an all-to-all.
+ */
+
+#include "workload/kernels/kernels.hh"
+
+namespace cenju
+{
+namespace kernels
+{
+namespace
+{
+
+class FtSeq : public NpbApp
+{
+  public:
+    explicit FtSeq(const NpbConfig &cfg) : _cfg(cfg) {}
+
+    void
+    setup(DsmSystem &sys) override
+    {
+        unsigned n = _cfg.grid;
+        _u = sys.privAlloc(std::size_t(n) * n * n);
+        _v = sys.privAlloc(std::size_t(n) * n * n);
+    }
+
+    Task
+    program(Env &env) override
+    {
+        const unsigned n = _cfg.grid;
+        const unsigned work =
+            _cfg.pointWork ? _cfg.pointWork : ftPointWork;
+        const unsigned rows = n * n;
+        const unsigned r0 = 0, r1 = rows;
+        auto idx = [n, r0](unsigned r, unsigned x) {
+            return std::size_t(r - r0) * n + x;
+        };
+        PrivArray ua = _u, va = _v;
+
+        // Initialize the rows (row r holds (z, y) = (r/n, r%n)).
+        for (unsigned r = r0; r < r1; ++r) {
+            unsigned z = r / n, y = r % n;
+            for (unsigned x = 0; x < n; ++x) {
+                double val = std::sin(0.1 * (x + 3 * y + 7 * z));
+                co_await env.put(ua, idx(r, x), val);
+            }
+        }
+
+        for (unsigned iter = 0; iter < _cfg.iterations; ++iter) {
+            // Pass 1: transform along x for every row.
+            for (unsigned r = r0; r < r1; ++r) {
+                for (unsigned x = 0; x < n; ++x) {
+                    double val = co_await env.get(ua, idx(r, x));
+                    co_await env.compute(work);
+                    co_await env.put(ua, idx(r, x),
+                                     val * 0.5 + 0.25);
+                }
+            }
+            // Transpose z <-> x: element (r=(z,y), x) lands in the
+            // transposed row tr = x*n + y at position z.
+            for (unsigned r = r0; r < r1; ++r) {
+                unsigned z = r / n, y = r % n;
+                for (unsigned x = 0; x < n; ++x) {
+                    unsigned tr = x * n + y;
+                    double val = co_await env.get(ua, idx(r, x));
+                    co_await env.put(va, idx(tr, z), val);
+                }
+            }
+            // Pass 2: transform the transposed rows.
+            for (unsigned r = r0; r < r1; ++r) {
+                for (unsigned x = 0; x < n; ++x) {
+                    double val = co_await env.get(va, idx(r, x));
+                    co_await env.compute(work);
+                    co_await env.put(va, idx(r, x),
+                                     val * 0.5 + 0.25);
+                }
+            }
+            std::swap(ua, va);
+        }
+
+        // Verification checksum.
+        double sum = 0.0;
+        for (unsigned r = r0; r < r1; ++r) {
+            for (unsigned x = 0; x < n; ++x) {
+                sum += co_await env.get(ua, idx(r, x));
+            }
+        }
+        _sum = sum;
+    }
+
+    double checksum() const override { return _sum; }
+
+  private:
+    NpbConfig _cfg;
+    PrivArray _u;
+    PrivArray _v;
+    double _sum = 0.0;
+};
+
+} // namespace
+
+std::unique_ptr<NpbApp>
+makeFtSeq(const NpbConfig &cfg)
+{
+    return std::make_unique<FtSeq>(cfg);
+}
+
+} // namespace kernels
+} // namespace cenju

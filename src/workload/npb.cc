@@ -1,0 +1,121 @@
+#include "workload/npb.hh"
+
+#include "sim/logging.hh"
+#include "workload/kernels/kernels.hh"
+
+#ifndef CENJU_SOURCE_DIR
+#define CENJU_SOURCE_DIR "."
+#endif
+
+namespace cenju
+{
+
+const char *
+appKindName(AppKind k)
+{
+    switch (k) {
+      case AppKind::BT:
+        return "BT";
+      case AppKind::CG:
+        return "CG";
+      case AppKind::FT:
+        return "FT";
+      case AppKind::SP:
+        return "SP";
+    }
+    return "?";
+}
+
+const char *
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Seq:
+        return "seq";
+      case Variant::Mpi:
+        return "mpi";
+      case Variant::Dsm1:
+        return "dsm1";
+      case Variant::Dsm2:
+        return "dsm2";
+    }
+    return "?";
+}
+
+std::unique_ptr<NpbApp>
+makeNpbApp(AppKind app, Variant variant, const NpbConfig &cfg)
+{
+    using namespace kernels;
+    switch (app) {
+      case AppKind::BT:
+        switch (variant) {
+          case Variant::Seq:
+            return makeBtSeq(cfg);
+          case Variant::Mpi:
+            return makeBtMpi(cfg);
+          case Variant::Dsm1:
+            return makeBtDsm1(cfg);
+          case Variant::Dsm2:
+            return makeBtDsm2(cfg);
+        }
+        break;
+      case AppKind::CG:
+        switch (variant) {
+          case Variant::Seq:
+            return makeCgSeq(cfg);
+          case Variant::Mpi:
+            return makeCgMpi(cfg);
+          case Variant::Dsm1:
+            return makeCgDsm1(cfg);
+          case Variant::Dsm2:
+            return makeCgDsm2(cfg);
+        }
+        break;
+      case AppKind::FT:
+        switch (variant) {
+          case Variant::Seq:
+            return makeFtSeq(cfg);
+          case Variant::Mpi:
+            return makeFtMpi(cfg);
+          case Variant::Dsm1:
+            return makeFtDsm1(cfg);
+          case Variant::Dsm2:
+            return makeFtDsm2(cfg);
+        }
+        break;
+      case AppKind::SP:
+        switch (variant) {
+          case Variant::Seq:
+            return makeSpSeq(cfg);
+          case Variant::Mpi:
+            return makeSpMpi(cfg);
+          case Variant::Dsm1:
+            return makeSpDsm1(cfg);
+          case Variant::Dsm2:
+            return makeSpDsm2(cfg);
+        }
+        break;
+    }
+    panic("makeNpbApp: bad app/variant");
+}
+
+RunStats
+runNpb(DsmSystem &sys, NpbApp &app)
+{
+    app.setup(sys);
+    return sys.run(
+        [&app](Env &env) -> Task { return app.program(env); });
+}
+
+std::string
+npbSourcePath(AppKind app, Variant variant)
+{
+    std::string name = appKindName(app);
+    for (auto &c : name)
+        c = static_cast<char>(std::tolower(c));
+    return std::string(CENJU_SOURCE_DIR) +
+           "/src/workload/kernels/" + name + "_" +
+           variantName(variant) + ".cc";
+}
+
+} // namespace cenju

@@ -1,0 +1,100 @@
+#include "workload/textdiff.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace cenju
+{
+
+std::vector<std::string>
+normalizeSource(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    bool in_block_comment = false;
+    while (std::getline(in, line)) {
+        std::string out;
+        for (std::size_t i = 0; i < line.size();) {
+            if (in_block_comment) {
+                if (i + 1 < line.size() && line[i] == '*' &&
+                    line[i + 1] == '/') {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    ++i;
+                }
+                continue;
+            }
+            if (i + 1 < line.size() && line[i] == '/' &&
+                line[i + 1] == '*') {
+                in_block_comment = true;
+                i += 2;
+                continue;
+            }
+            if (i + 1 < line.size() && line[i] == '/' &&
+                line[i + 1] == '/') {
+                break; // line comment
+            }
+            out.push_back(line[i]);
+            ++i;
+        }
+        // Trim whitespace.
+        std::size_t b = out.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        std::size_t e = out.find_last_not_of(" \t\r");
+        lines.push_back(out.substr(b, e - b + 1));
+    }
+    return lines;
+}
+
+DiffStats
+diffLines(const std::vector<std::string> &base,
+          const std::vector<std::string> &variant)
+{
+    // Classic O(n*m) LCS table; kernel files are a few hundred
+    // lines so this is instantaneous.
+    std::size_t n = base.size(), m = variant.size();
+    std::vector<std::vector<std::uint32_t>> lcs(
+        n + 1, std::vector<std::uint32_t>(m + 1, 0));
+    for (std::size_t i = n; i-- > 0;) {
+        for (std::size_t j = m; j-- > 0;) {
+            if (base[i] == variant[j])
+                lcs[i][j] = lcs[i + 1][j + 1] + 1;
+            else
+                lcs[i][j] =
+                    std::max(lcs[i + 1][j], lcs[i][j + 1]);
+        }
+    }
+    DiffStats d;
+    d.baseLines = n;
+    d.variantLines = m;
+    d.common = lcs[0][0];
+    d.added = m - d.common;
+    d.removed = n - d.common;
+    return d;
+}
+
+std::string
+readFileOrDie(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open %s", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+DiffStats
+diffFiles(const std::string &base_path,
+          const std::string &variant_path)
+{
+    return diffLines(normalizeSource(readFileOrDie(base_path)),
+                     normalizeSource(readFileOrDie(variant_path)));
+}
+
+} // namespace cenju

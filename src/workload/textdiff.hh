@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Line-based text diff for the program rewriting ratio
+ * (paper Figure 11a).
+ *
+ * The paper measures ease of programming as
+ * (changed + added lines) / (lines of the sequential program).
+ * We compute it with a longest-common-subsequence diff over
+ * normalized code lines (comments and blank lines stripped, since
+ * they carry no programming effort).
+ */
+
+#ifndef CENJU_WORKLOAD_TEXTDIFF_HH
+#define CENJU_WORKLOAD_TEXTDIFF_HH
+
+#include <string>
+#include <vector>
+
+namespace cenju
+{
+
+/** Result of comparing a variant against the base program. */
+struct DiffStats
+{
+    std::size_t baseLines = 0;    ///< code lines in the base
+    std::size_t variantLines = 0; ///< code lines in the variant
+    std::size_t common = 0;       ///< LCS length
+    std::size_t added = 0;        ///< variant lines not in base
+    std::size_t removed = 0;      ///< base lines not in variant
+
+    /** The paper's rewriting ratio: changed+added over base. */
+    double
+    rewritingRatio() const
+    {
+        return baseLines
+            ? double(added) / double(baseLines)
+            : 0.0;
+    }
+};
+
+/**
+ * Strip comments/blank lines and trim whitespace; returns the code
+ * lines a programmer actually writes.
+ */
+std::vector<std::string> normalizeSource(const std::string &text);
+
+/** LCS-based diff over normalized lines. */
+DiffStats diffLines(const std::vector<std::string> &base,
+                    const std::vector<std::string> &variant);
+
+/** Load a file (fatal on failure). */
+std::string readFileOrDie(const std::string &path);
+
+/** Convenience: normalize two files and diff them. */
+DiffStats diffFiles(const std::string &base_path,
+                    const std::string &variant_path);
+
+} // namespace cenju
+
+#endif // CENJU_WORKLOAD_TEXTDIFF_HH

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * End-to-end tests of the public API: coroutine programs, shared
+ * arrays and mappings, barriers/reductions, message passing, and
+ * run statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dsm_system.hh"
+
+namespace cenju
+{
+namespace
+{
+
+SystemConfig
+smallCfg(unsigned nodes)
+{
+    SystemConfig cfg;
+    cfg.numNodes = nodes;
+    return cfg;
+}
+
+TEST(DsmSystem, QuickstartNeighborExchange)
+{
+    DsmSystem sys(smallCfg(8));
+    ShmArray x = sys.shmAlloc(8, Mapping::blocked());
+    std::vector<double> seen(8, -1.0);
+
+    sys.run([&](Env &env) -> Task {
+        co_await env.put(x, env.id(), double(env.id()) * 1.5);
+        co_await env.barrier();
+        NodeId nb = (env.id() + 1) % env.numNodes();
+        seen[env.id()] = co_await env.get(x, nb);
+    });
+
+    for (NodeId n = 0; n < 8; ++n) {
+        EXPECT_DOUBLE_EQ(seen[n], double((n + 1) % 8) * 1.5)
+            << "node " << n;
+    }
+}
+
+TEST(DsmSystem, BarrierSeparatesPhases)
+{
+    // Without working barriers, some node would read a stale zero.
+    DsmSystem sys(smallCfg(16));
+    ShmArray x = sys.shmAlloc(16, Mapping::blockCyclic());
+    bool ok = true;
+
+    sys.run([&](Env &env) -> Task {
+        for (int phase = 1; phase <= 5; ++phase) {
+            co_await env.put(x, env.id(), phase * 100.0 + env.id());
+            co_await env.barrier();
+            // Read every element; all must show the current phase.
+            for (NodeId n = 0; n < env.numNodes(); ++n) {
+                double v = co_await env.get(x, n);
+                if (v != phase * 100.0 + n)
+                    ok = false;
+            }
+            co_await env.barrier();
+        }
+    });
+    EXPECT_TRUE(ok);
+}
+
+TEST(DsmSystem, AllReduceSumsContributions)
+{
+    DsmSystem sys(smallCfg(16));
+    std::vector<double> totals(16, 0.0);
+    sys.run([&](Env &env) -> Task {
+        totals[env.id()] =
+            co_await env.allReduceSum(double(env.id() + 1));
+    });
+    for (double t : totals)
+        EXPECT_DOUBLE_EQ(t, 16.0 * 17.0 / 2.0);
+}
+
+TEST(DsmSystem, SendRecvPingPong)
+{
+    DsmSystem sys(smallCfg(4));
+    std::uint64_t got = 0;
+    std::vector<std::function<Task(Env &)>> progs(4);
+    progs[0] = [&](Env &env) -> Task {
+        std::vector<std::uint64_t> data;
+        data.push_back(42);
+        data.push_back(43);
+        co_await env.send(1, 7, std::move(data));
+        auto reply = co_await env.recv(1, 8);
+        got = reply[0];
+    };
+    progs[1] = [](Env &env) -> Task {
+        auto msg = co_await env.recv(0, 7);
+        std::vector<std::uint64_t> reply(1, msg[0] + msg[1]);
+        co_await env.send(0, 8, std::move(reply));
+    };
+    progs[2] = [](Env &) -> Task { co_return; };
+    progs[3] = [](Env &) -> Task { co_return; };
+    sys.runEach(progs);
+    EXPECT_EQ(got, 85u);
+}
+
+TEST(DsmSystem, MpiLatencyMatchesPaper)
+{
+    // Paper: 9.1 us one-way small-message latency on a 128-node
+    // (4-stage) system.
+    DsmSystem sys(smallCfg(128));
+    Tick arrival = 0;
+    std::vector<std::function<Task(Env &)>> progs(
+        128, [](Env &) -> Task { co_return; });
+    progs[0] = [](Env &env) -> Task {
+        std::vector<std::uint64_t> one(1, 1);
+        co_await env.send(100, 1, std::move(one));
+    };
+    progs[100] = [&](Env &env) -> Task {
+        co_await env.recv(0, 1);
+        arrival = env.now();
+    };
+    sys.runEach(progs);
+    EXPECT_NEAR(double(arrival), 9100.0, 200.0);
+}
+
+TEST(Mapping, BlockedOwnership)
+{
+    DsmSystem sys(smallCfg(4));
+    ShmArray x = sys.shmAlloc(100, Mapping::blocked());
+    // ceil(100/4)=25 per node.
+    EXPECT_EQ(x.ownerOf(0), 0u);
+    EXPECT_EQ(x.ownerOf(24), 0u);
+    EXPECT_EQ(x.ownerOf(25), 1u);
+    EXPECT_EQ(x.ownerOf(99), 3u);
+    EXPECT_EQ(addr_map::homeNode(x.addrOf(99)), 3u);
+}
+
+TEST(Mapping, BlockCyclicSpreadsBlocks)
+{
+    DsmSystem sys(smallCfg(4));
+    ShmArray x = sys.shmAlloc(256, Mapping::blockCyclic());
+    // 16 words per block: words 0..15 on node 0, 16..31 on 1, ...
+    EXPECT_EQ(x.ownerOf(0), 0u);
+    EXPECT_EQ(x.ownerOf(15), 0u);
+    EXPECT_EQ(x.ownerOf(16), 1u);
+    EXPECT_EQ(x.ownerOf(63), 3u);
+    EXPECT_EQ(x.ownerOf(64), 0u);
+}
+
+TEST(Mapping, OnNodeKeepsEverythingAtOneHome)
+{
+    DsmSystem sys(smallCfg(4));
+    ShmArray x = sys.shmAlloc(64, Mapping::onNode(2));
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(x.ownerOf(i), 2u);
+}
+
+TEST(Mapping, AllocationsDoNotOverlap)
+{
+    DsmSystem sys(smallCfg(4));
+    ShmArray a = sys.shmAlloc(64, Mapping::blocked());
+    ShmArray b = sys.shmAlloc(64, Mapping::blocked());
+    for (std::size_t i = 0; i < 64; ++i) {
+        for (std::size_t j = 0; j < 64; ++j)
+            EXPECT_NE(a.addrOf(i), b.addrOf(j));
+    }
+}
+
+TEST(Mapping, PrivateArraysPerNode)
+{
+    DsmSystem sys(smallCfg(4));
+    PrivArray p = sys.privAlloc(32);
+    std::vector<double> got(4, 0);
+    sys.run([&](Env &env) -> Task {
+        // Same offsets, distinct per-node memory.
+        co_await env.put(p, 3, 10.0 + env.id());
+        co_await env.barrier();
+        got[env.id()] = co_await env.get(p, 3);
+    });
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_DOUBLE_EQ(got[n], 10.0 + n);
+}
+
+TEST(RunStats, CountsAndBreakdowns)
+{
+    DsmSystem sys(smallCfg(4));
+    ShmArray x = sys.shmAlloc(4 * 16, Mapping::blocked());
+    PrivArray p = sys.privAlloc(16);
+    RunStats r = sys.run([&](Env &env) -> Task {
+        co_await env.compute(100);
+        co_await env.put(p, 0, 1.0);
+        co_await env.put(x, env.id() * 16, 2.0); // local shared
+        NodeId nb = (env.id() + 1) % env.numNodes();
+        co_await env.get(x, nb * 16); // remote shared
+    });
+
+    EXPECT_EQ(r.memAccesses, 4u * 3u);
+    EXPECT_EQ(r.instructions, 4u * (100 + 3));
+    EXPECT_EQ(r.accPrivate, 4u);
+    EXPECT_EQ(r.accSharedLocal, 4u);
+    EXPECT_EQ(r.accSharedRemote, 4u);
+    EXPECT_GT(r.execTime, 0u);
+    EXPECT_GT(r.missRatio(), 0.0);
+}
+
+TEST(RunStats, SecondRunStartsClean)
+{
+    DsmSystem sys(smallCfg(4));
+    PrivArray p = sys.privAlloc(16);
+    auto prog = [&](Env &env) -> Task {
+        co_await env.put(p, env.id() % 16, 1.0);
+    };
+    RunStats r1 = sys.run(prog);
+    RunStats r2 = sys.run(prog);
+    EXPECT_EQ(r1.memAccesses, r2.memAccesses);
+    // Second run hits in the cache: fewer misses.
+    EXPECT_LT(r2.cacheMisses, r1.cacheMisses + 1);
+}
+
+TEST(RunStats, DeterministicAcrossSystems)
+{
+    auto once = [] {
+        DsmSystem sys(smallCfg(8));
+        ShmArray x = sys.shmAlloc(128, Mapping::blockCyclic());
+        RunStats r = sys.run([&](Env &env) -> Task {
+            for (int i = 0; i < 20; ++i) {
+                co_await env.put(
+                    x, (env.id() * 17 + i * 3) % 128, i);
+                if (i % 5 == 0)
+                    co_await env.barrier();
+            }
+        });
+        return r.execTime;
+    };
+    EXPECT_EQ(once(), once());
+}
+
+TEST(DsmSystem, MismatchedBarrierIsReportedAsDeadlock)
+{
+    EXPECT_EXIT(
+        {
+            DsmSystem sys(smallCfg(4));
+            sys.run([&](Env &env) -> Task {
+                if (env.id() == 0)
+                    co_return; // node 0 skips the barrier
+                co_await env.barrier();
+            });
+        },
+        ::testing::ExitedWithCode(1), "deadlock");
+}
+
+TEST(DsmSystem, LargeSystemSmoke)
+{
+    DsmSystem sys(smallCfg(128));
+    ShmArray x = sys.shmAlloc(128, Mapping::blocked());
+    std::vector<double> totals(128, 0);
+    sys.run([&](Env &env) -> Task {
+        co_await env.put(x, env.id(), 1.0);
+        co_await env.barrier();
+        double sum = 0;
+        // Each node reads a strided subset.
+        for (NodeId n = env.id() % 4; n < env.numNodes(); n += 4)
+            sum += co_await env.get(x, n);
+        totals[env.id()] =
+            co_await env.allReduceSum(sum);
+    });
+    // 4 strided classes x 32 reads each of value 1 = 128 summed
+    // over all nodes... every node contributed its stride sum (32),
+    // so the reduction totals 128 * 32 / ... simply: each node's
+    // local sum is 32, total = 128 * 32.
+    for (double t : totals)
+        EXPECT_DOUBLE_EQ(t, 128.0 * 32.0);
+}
+
+TEST(DsmSystem, DmaRangeTransfersAreCoherent)
+{
+    // writeRange must defeat stale cached copies; readRange must
+    // see dirty cached data.
+    DsmSystem sys(smallCfg(2));
+    PrivArray p = sys.privAlloc(64);
+    std::vector<double> seen(3, 0);
+    sys.run([&](Env &env) -> Task {
+        if (env.id() != 0)
+            co_return;
+        // Cache a line with a dirty value.
+        co_await env.put(p, 5, 1.5);
+        // DMA-read sees the dirty cached value.
+        auto r = co_await env.readRange(p, 5, 1);
+        seen[0] = Env::real(r[0]);
+        // DMA-write overwrites memory and invalidates the cache.
+        std::vector<std::uint64_t> vals(1, Env::bits(9.0));
+        co_await env.writeRange(p, 5, std::move(vals));
+        seen[1] = co_await env.get(p, 5);
+        // Bulk round-trip.
+        std::vector<std::uint64_t> many;
+        for (int i = 0; i < 32; ++i)
+            many.push_back(Env::bits(double(i)));
+        co_await env.writeRange(p, 16, std::move(many));
+        auto back = co_await env.readRange(p, 16, 32);
+        double sum = 0;
+        for (auto w : back)
+            sum += Env::real(w);
+        seen[2] = sum;
+    });
+    EXPECT_DOUBLE_EQ(seen[0], 1.5);
+    EXPECT_DOUBLE_EQ(seen[1], 9.0);
+    EXPECT_DOUBLE_EQ(seen[2], 31.0 * 32.0 / 2.0);
+}
+
+} // namespace
+} // namespace cenju

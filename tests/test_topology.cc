@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the omega topology: stage-count rule, routing validity
+ * and uniqueness, wiring consistency, reachability sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "network/topology.hh"
+#include "sim/rng.hh"
+
+namespace cenju
+{
+namespace
+{
+
+TEST(Topology, DefaultStagesMatchesPaperTable2)
+{
+    EXPECT_EQ(Topology::defaultStages(16), 2u);
+    EXPECT_EQ(Topology::defaultStages(128), 4u);
+    EXPECT_EQ(Topology::defaultStages(1024), 6u);
+}
+
+TEST(Topology, DefaultStagesOtherSizes)
+{
+    EXPECT_EQ(Topology::defaultStages(1), 1u);
+    EXPECT_EQ(Topology::defaultStages(4), 1u);
+    EXPECT_EQ(Topology::defaultStages(5), 2u);
+    EXPECT_EQ(Topology::defaultStages(17), 4u);  // ceil(log4)=3 -> 4
+    EXPECT_EQ(Topology::defaultStages(64), 4u);  // 3 -> 4
+    EXPECT_EQ(Topology::defaultStages(256), 4u);
+    EXPECT_EQ(Topology::defaultStages(257), 6u); // 5 -> 6
+}
+
+TEST(Topology, ChannelsCoverNodes)
+{
+    for (unsigned n : {1u, 4u, 16u, 64u, 128u, 1024u}) {
+        Topology t(n);
+        EXPECT_GE(t.channels(), n);
+        EXPECT_EQ(t.rowsPerStage() * switchRadix, t.channels());
+    }
+}
+
+class TopologyRouting : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(TopologyRouting, RoutesAreWellFormed)
+{
+    unsigned n = GetParam();
+    Topology t(n);
+    Rng rng(n);
+    for (int trial = 0; trial < 500; ++trial) {
+        NodeId src = static_cast<NodeId>(rng.below(n));
+        NodeId dst = static_cast<NodeId>(rng.below(n));
+        // route() internally panics if it does not land on dst.
+        auto hops = t.route(src, dst);
+        ASSERT_EQ(hops.size(), t.stages());
+
+        // First hop matches the injection point.
+        auto [row0, port0] = t.injectPoint(src);
+        EXPECT_EQ(hops[0].row, row0);
+        EXPECT_EQ(hops[0].inPort, port0);
+
+        // Consecutive hops follow the physical wiring.
+        for (unsigned s = 0; s + 1 < t.stages(); ++s) {
+            auto [nrow, nport] =
+                t.link(s, hops[s].row, hops[s].outPort);
+            EXPECT_EQ(hops[s + 1].row, nrow);
+            EXPECT_EQ(hops[s + 1].inPort, nport);
+        }
+
+        // Final hop ejects at the destination.
+        const RouteHop &last = hops.back();
+        EXPECT_EQ(t.ejectNode(last.row, last.outPort), dst);
+
+        // The output port at each stage is the destination digit.
+        for (unsigned s = 0; s < t.stages(); ++s)
+            EXPECT_EQ(hops[s].outPort, t.routeDigit(dst, s));
+    }
+}
+
+TEST_P(TopologyRouting, PathsAreDeterministic)
+{
+    unsigned n = GetParam();
+    Topology t(n);
+    auto a = t.route(0, n - 1);
+    auto b = t.route(0, n - 1);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].row, b[i].row);
+        EXPECT_EQ(a[i].outPort, b[i].outPort);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologyRouting,
+                         ::testing::Values(4u, 16u, 64u, 128u, 256u,
+                                           1024u));
+
+TEST(Topology, ReachMatchesBruteForce16)
+{
+    // Exhaustively: d is reachable from (stage,row,port) iff some
+    // route passes through that port toward d.
+    Topology t(16);
+    std::map<std::tuple<unsigned, unsigned, unsigned>, NodeSet>
+        truth;
+    for (unsigned s = 0; s < t.stages(); ++s) {
+        for (unsigned r = 0; r < t.rowsPerStage(); ++r) {
+            for (unsigned p = 0; p < switchRadix; ++p)
+                truth.emplace(std::make_tuple(s, r, p),
+                              NodeSet(t.channels()));
+        }
+    }
+    for (NodeId src = 0; src < 16; ++src) {
+        for (NodeId dst = 0; dst < 16; ++dst) {
+            for (const RouteHop &h : t.route(src, dst)) {
+                truth.at({h.stage, h.row, h.outPort}).insert(dst);
+            }
+        }
+    }
+    for (auto &[key, set] : truth) {
+        auto [s, r, p] = key;
+        EXPECT_TRUE(set == t.reach(s, r, p))
+            << "stage " << s << " row " << r << " port " << p;
+    }
+}
+
+TEST(Topology, ReachRestrictedToRealNodes)
+{
+    Topology t(10); // 2 stages, 16 channels, 6 unused endpoints
+    for (unsigned s = 0; s < t.stages(); ++s) {
+        for (unsigned r = 0; r < t.rowsPerStage(); ++r) {
+            for (unsigned p = 0; p < switchRadix; ++p) {
+                t.reach(s, r, p).forEach(
+                    [](NodeId n) { EXPECT_LT(n, 10u); });
+            }
+        }
+    }
+}
+
+TEST(Topology, Stage0ReachPartitionsAllNodes)
+{
+    // The four output ports of any stage-0 switch on a route's path
+    // must jointly reach every node: the network is fully connected.
+    Topology t(64);
+    auto [row, port] = t.injectPoint(13);
+    (void)port;
+    NodeSet all(t.channels());
+    for (unsigned p = 0; p < switchRadix; ++p)
+        all |= t.reach(0, row, p);
+    EXPECT_EQ(all.count(), 64u);
+}
+
+TEST(Topology, ShuffleIsDigitRotation)
+{
+    Topology t(64, 3); // 3 stages, 64 channels
+    // 64 channels, digits (d2 d1 d0): shuffle -> (d1 d0 d2).
+    unsigned c = (2u << 4) | (3u << 2) | 1u; // digits 2,3,1
+    unsigned expect = (3u << 4) | (1u << 2) | 2u; // digits 3,1,2
+    EXPECT_EQ(t.shuffle(c), expect);
+}
+
+TEST(Topology, OversizedSystemRejected)
+{
+    EXPECT_EXIT(Topology t(2000), ::testing::ExitedWithCode(1),
+                "unsupported");
+}
+
+TEST(Topology, TooFewStagesRejected)
+{
+    EXPECT_EXIT(Topology t(64, 2), ::testing::ExitedWithCode(1),
+                "address only");
+}
+
+} // namespace
+} // namespace cenju
