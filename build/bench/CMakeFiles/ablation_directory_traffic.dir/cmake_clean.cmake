@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_directory_traffic.dir/ablation_directory_traffic.cc.o"
+  "CMakeFiles/ablation_directory_traffic.dir/ablation_directory_traffic.cc.o.d"
+  "ablation_directory_traffic"
+  "ablation_directory_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_directory_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_rewriting_ratio.dir/fig11a_rewriting_ratio.cc.o"
+  "CMakeFiles/fig11a_rewriting_ratio.dir/fig11a_rewriting_ratio.cc.o.d"
+  "fig11a_rewriting_ratio"
+  "fig11a_rewriting_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_rewriting_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_efficiency.dir/fig11b_efficiency.cc.o"
+  "CMakeFiles/fig11b_efficiency.dir/fig11b_efficiency.cc.o.d"
+  "fig11b_efficiency"
+  "fig11b_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

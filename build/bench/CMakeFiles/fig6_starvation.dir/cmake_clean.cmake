@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_starvation.dir/fig6_starvation.cc.o"
+  "CMakeFiles/fig6_starvation.dir/fig6_starvation.cc.o.d"
+  "fig6_starvation"
+  "fig6_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

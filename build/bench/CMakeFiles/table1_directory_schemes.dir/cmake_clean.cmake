@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_directory_schemes.dir/table1_directory_schemes.cc.o"
+  "CMakeFiles/table1_directory_schemes.dir/table1_directory_schemes.cc.o.d"
+  "table1_directory_schemes"
+  "table1_directory_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_directory_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

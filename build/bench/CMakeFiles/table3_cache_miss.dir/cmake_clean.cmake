@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cache_miss.dir/table3_cache_miss.cc.o"
+  "CMakeFiles/table3_cache_miss.dir/table3_cache_miss.cc.o.d"
+  "table3_cache_miss"
+  "table3_cache_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cache_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

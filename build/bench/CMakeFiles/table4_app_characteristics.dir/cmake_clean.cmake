@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_app_characteristics.dir/table4_app_characteristics.cc.o"
+  "CMakeFiles/table4_app_characteristics.dir/table4_app_characteristics.cc.o.d"
+  "table4_app_characteristics"
+  "table4_app_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_app_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenju_core.dir/dsm_system.cc.o"
+  "CMakeFiles/cenju_core.dir/dsm_system.cc.o.d"
+  "libcenju_core.a"
+  "libcenju_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenju_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/directory/cenju_node_map.cc" "src/directory/CMakeFiles/cenju_directory.dir/cenju_node_map.cc.o" "gcc" "src/directory/CMakeFiles/cenju_directory.dir/cenju_node_map.cc.o.d"
+  "/root/repo/src/directory/entry.cc" "src/directory/CMakeFiles/cenju_directory.dir/entry.cc.o" "gcc" "src/directory/CMakeFiles/cenju_directory.dir/entry.cc.o.d"
+  "/root/repo/src/directory/node_map.cc" "src/directory/CMakeFiles/cenju_directory.dir/node_map.cc.o" "gcc" "src/directory/CMakeFiles/cenju_directory.dir/node_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cenju_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenju_directory.dir/cenju_node_map.cc.o"
+  "CMakeFiles/cenju_directory.dir/cenju_node_map.cc.o.d"
+  "CMakeFiles/cenju_directory.dir/entry.cc.o"
+  "CMakeFiles/cenju_directory.dir/entry.cc.o.d"
+  "CMakeFiles/cenju_directory.dir/node_map.cc.o"
+  "CMakeFiles/cenju_directory.dir/node_map.cc.o.d"
+  "libcenju_directory.a"
+  "libcenju_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenju_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenju_msgpass.dir/msg_engine.cc.o"
+  "CMakeFiles/cenju_msgpass.dir/msg_engine.cc.o.d"
+  "libcenju_msgpass.a"
+  "libcenju_msgpass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenju_msgpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenju_network.dir/network.cc.o"
+  "CMakeFiles/cenju_network.dir/network.cc.o.d"
+  "CMakeFiles/cenju_network.dir/topology.cc.o"
+  "CMakeFiles/cenju_network.dir/topology.cc.o.d"
+  "CMakeFiles/cenju_network.dir/xbar_switch.cc.o"
+  "CMakeFiles/cenju_network.dir/xbar_switch.cc.o.d"
+  "libcenju_network.a"
+  "libcenju_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenju_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

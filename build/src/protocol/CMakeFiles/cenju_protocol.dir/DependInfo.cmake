@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/dsm_node.cc" "src/protocol/CMakeFiles/cenju_protocol.dir/__/node/dsm_node.cc.o" "gcc" "src/protocol/CMakeFiles/cenju_protocol.dir/__/node/dsm_node.cc.o.d"
+  "/root/repo/src/protocol/cache.cc" "src/protocol/CMakeFiles/cenju_protocol.dir/cache.cc.o" "gcc" "src/protocol/CMakeFiles/cenju_protocol.dir/cache.cc.o.d"
+  "/root/repo/src/protocol/coh_msg.cc" "src/protocol/CMakeFiles/cenju_protocol.dir/coh_msg.cc.o" "gcc" "src/protocol/CMakeFiles/cenju_protocol.dir/coh_msg.cc.o.d"
+  "/root/repo/src/protocol/home.cc" "src/protocol/CMakeFiles/cenju_protocol.dir/home.cc.o" "gcc" "src/protocol/CMakeFiles/cenju_protocol.dir/home.cc.o.d"
+  "/root/repo/src/protocol/master.cc" "src/protocol/CMakeFiles/cenju_protocol.dir/master.cc.o" "gcc" "src/protocol/CMakeFiles/cenju_protocol.dir/master.cc.o.d"
+  "/root/repo/src/protocol/slave.cc" "src/protocol/CMakeFiles/cenju_protocol.dir/slave.cc.o" "gcc" "src/protocol/CMakeFiles/cenju_protocol.dir/slave.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/network/CMakeFiles/cenju_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/cenju_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cenju_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenju_protocol.dir/__/node/dsm_node.cc.o"
+  "CMakeFiles/cenju_protocol.dir/__/node/dsm_node.cc.o.d"
+  "CMakeFiles/cenju_protocol.dir/cache.cc.o"
+  "CMakeFiles/cenju_protocol.dir/cache.cc.o.d"
+  "CMakeFiles/cenju_protocol.dir/coh_msg.cc.o"
+  "CMakeFiles/cenju_protocol.dir/coh_msg.cc.o.d"
+  "CMakeFiles/cenju_protocol.dir/home.cc.o"
+  "CMakeFiles/cenju_protocol.dir/home.cc.o.d"
+  "CMakeFiles/cenju_protocol.dir/master.cc.o"
+  "CMakeFiles/cenju_protocol.dir/master.cc.o.d"
+  "CMakeFiles/cenju_protocol.dir/slave.cc.o"
+  "CMakeFiles/cenju_protocol.dir/slave.cc.o.d"
+  "libcenju_protocol.a"
+  "libcenju_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenju_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

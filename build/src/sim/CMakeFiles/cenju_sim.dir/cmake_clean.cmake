@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenju_sim.dir/logging.cc.o"
+  "CMakeFiles/cenju_sim.dir/logging.cc.o.d"
+  "CMakeFiles/cenju_sim.dir/stats.cc.o"
+  "CMakeFiles/cenju_sim.dir/stats.cc.o.d"
+  "libcenju_sim.a"
+  "libcenju_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenju_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

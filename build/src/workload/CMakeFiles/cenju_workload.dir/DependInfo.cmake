@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kernels/bt_dsm1.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/bt_dsm1.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/bt_dsm1.cc.o.d"
+  "/root/repo/src/workload/kernels/bt_dsm2.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/bt_dsm2.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/bt_dsm2.cc.o.d"
+  "/root/repo/src/workload/kernels/bt_mpi.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/bt_mpi.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/bt_mpi.cc.o.d"
+  "/root/repo/src/workload/kernels/bt_seq.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/bt_seq.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/bt_seq.cc.o.d"
+  "/root/repo/src/workload/kernels/cg_dsm1.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/cg_dsm1.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/cg_dsm1.cc.o.d"
+  "/root/repo/src/workload/kernels/cg_dsm2.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/cg_dsm2.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/cg_dsm2.cc.o.d"
+  "/root/repo/src/workload/kernels/cg_mpi.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/cg_mpi.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/cg_mpi.cc.o.d"
+  "/root/repo/src/workload/kernels/cg_seq.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/cg_seq.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/cg_seq.cc.o.d"
+  "/root/repo/src/workload/kernels/ft_dsm1.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/ft_dsm1.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/ft_dsm1.cc.o.d"
+  "/root/repo/src/workload/kernels/ft_dsm2.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/ft_dsm2.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/ft_dsm2.cc.o.d"
+  "/root/repo/src/workload/kernels/ft_mpi.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/ft_mpi.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/ft_mpi.cc.o.d"
+  "/root/repo/src/workload/kernels/ft_seq.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/ft_seq.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/ft_seq.cc.o.d"
+  "/root/repo/src/workload/kernels/sp_dsm1.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/sp_dsm1.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/sp_dsm1.cc.o.d"
+  "/root/repo/src/workload/kernels/sp_dsm2.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/sp_dsm2.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/sp_dsm2.cc.o.d"
+  "/root/repo/src/workload/kernels/sp_mpi.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/sp_mpi.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/sp_mpi.cc.o.d"
+  "/root/repo/src/workload/kernels/sp_seq.cc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/sp_seq.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/kernels/sp_seq.cc.o.d"
+  "/root/repo/src/workload/npb.cc" "src/workload/CMakeFiles/cenju_workload.dir/npb.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/npb.cc.o.d"
+  "/root/repo/src/workload/textdiff.cc" "src/workload/CMakeFiles/cenju_workload.dir/textdiff.cc.o" "gcc" "src/workload/CMakeFiles/cenju_workload.dir/textdiff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cenju_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgpass/CMakeFiles/cenju_msgpass.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/cenju_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/cenju_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/cenju_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cenju_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msgpass.dir/test_msgpass.cc.o"
+  "CMakeFiles/test_msgpass.dir/test_msgpass.cc.o.d"
+  "test_msgpass"
+  "test_msgpass.pdb"
+  "test_msgpass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msgpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_directory[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_msgpass[1]_include.cmake")
+include("/root/repo/build/tests/test_deadlock[1]_include.cmake")
+include("/root/repo/build/tests/test_update[1]_include.cmake")
+include("/root/repo/build/tests/test_network_fuzz[1]_include.cmake")
