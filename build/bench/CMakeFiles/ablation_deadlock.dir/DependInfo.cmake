@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/cenju_core.dir/DependInfo.cmake"
   "/root/repo/build/src/msgpass/CMakeFiles/cenju_msgpass.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/cenju_check.dir/DependInfo.cmake"
   "/root/repo/build/src/protocol/CMakeFiles/cenju_protocol.dir/DependInfo.cmake"
   "/root/repo/build/src/network/CMakeFiles/cenju_network.dir/DependInfo.cmake"
   "/root/repo/build/src/directory/CMakeFiles/cenju_directory.dir/DependInfo.cmake"

@@ -218,10 +218,10 @@ bench/CMakeFiles/micro_components.dir/micro_components.cc.o: \
  /usr/include/c++/12/cstdarg /root/repo/src/sim/types.hh \
  /root/repo/src/directory/node_map.hh /root/repo/src/network/network.hh \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/network/net_config.hh \
- /root/repo/src/network/packet.hh /root/repo/src/network/topology.hh \
- /root/repo/src/network/xbar_switch.hh /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/check/hooks.hh \
+ /root/repo/src/network/net_config.hh /root/repo/src/network/packet.hh \
+ /root/repo/src/network/topology.hh /root/repo/src/network/xbar_switch.hh \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \

@@ -10,6 +10,7 @@ subdirs("network")
 subdirs("memory")
 subdirs("protocol")
 subdirs("node")
+subdirs("check")
 subdirs("exec")
 subdirs("core")
 subdirs("msgpass")

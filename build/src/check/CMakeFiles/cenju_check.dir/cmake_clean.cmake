@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenju_check.dir/explorer.cc.o"
+  "CMakeFiles/cenju_check.dir/explorer.cc.o.d"
+  "CMakeFiles/cenju_check.dir/invariants.cc.o"
+  "CMakeFiles/cenju_check.dir/invariants.cc.o.d"
+  "CMakeFiles/cenju_check.dir/trace.cc.o"
+  "CMakeFiles/cenju_check.dir/trace.cc.o.d"
+  "libcenju_check.a"
+  "libcenju_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenju_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

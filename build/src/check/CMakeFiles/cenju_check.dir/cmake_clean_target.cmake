@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcenju_check.a"
+)

@@ -207,29 +207,32 @@ src/core/CMakeFiles/cenju_core.dir/dsm_system.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/env.hh \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/check/invariants.hh /root/repo/src/check/hooks.hh \
+ /root/repo/src/sim/types.hh /usr/include/c++/12/limits \
+ /root/repo/src/check/trace.hh /root/repo/src/protocol/proto_config.hh \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/directory/node_map.hh \
+ /root/repo/src/directory/node_set.hh /root/repo/src/sim/logging.hh \
+ /usr/include/c++/12/cstdarg /root/repo/src/sim/timing.hh \
+ /root/repo/src/sim/types.hh /root/repo/src/core/env.hh \
  /usr/include/c++/12/coroutine /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/core/mapping.hh /root/repo/src/memory/address_map.hh \
- /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg \
- /root/repo/src/sim/types.hh /usr/include/c++/12/limits \
  /root/repo/src/core/sync.hh /root/repo/src/msgpass/msg_engine.hh \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/network/packet.hh \
- /root/repo/src/directory/bit_pattern.hh \
- /root/repo/src/directory/node_set.hh /root/repo/src/node/dsm_node.hh \
+ /root/repo/src/directory/bit_pattern.hh /root/repo/src/node/dsm_node.hh \
  /root/repo/src/memory/main_memory.hh /root/repo/src/memory/msg_queue.hh \
- /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/network/network.hh \
+ /usr/include/c++/12/cstddef /root/repo/src/network/network.hh \
  /root/repo/src/network/net_config.hh /root/repo/src/network/topology.hh \
  /root/repo/src/network/xbar_switch.hh \
  /root/repo/src/network/gather_table.hh /root/repo/src/sim/event_queue.hh \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/logging.hh /root/repo/src/sim/types.hh \
- /root/repo/src/sim/stats.hh /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/logging.hh /root/repo/src/sim/stats.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -256,7 +259,5 @@ src/core/CMakeFiles/cenju_core.dir/dsm_system.cc.o: \
  /root/repo/src/protocol/cache.hh /root/repo/src/protocol/home.hh \
  /root/repo/src/directory/directory.hh /root/repo/src/directory/entry.hh \
  /root/repo/src/directory/cenju_node_map.hh \
- /root/repo/src/directory/node_map.hh /root/repo/src/protocol/coh_msg.hh \
- /root/repo/src/protocol/master.hh \
- /root/repo/src/protocol/proto_config.hh /root/repo/src/sim/timing.hh \
+ /root/repo/src/protocol/coh_msg.hh /root/repo/src/protocol/master.hh \
  /root/repo/src/protocol/slave.hh /root/repo/src/exec/task.hh

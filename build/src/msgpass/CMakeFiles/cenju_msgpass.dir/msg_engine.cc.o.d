@@ -218,7 +218,7 @@ src/msgpass/CMakeFiles/cenju_msgpass.dir/msg_engine.cc.o: \
  /root/repo/src/directory/node_set.hh /root/repo/src/sim/logging.hh \
  /usr/include/c++/12/cstdarg /root/repo/src/sim/types.hh \
  /usr/include/c++/12/limits /root/repo/src/node/dsm_node.hh \
- /root/repo/src/memory/address_map.hh \
+ /root/repo/src/check/hooks.hh /root/repo/src/memory/address_map.hh \
  /root/repo/src/memory/main_memory.hh /root/repo/src/memory/msg_queue.hh \
  /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/network/network.hh \

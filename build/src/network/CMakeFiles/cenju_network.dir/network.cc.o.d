@@ -198,9 +198,10 @@ src/network/CMakeFiles/cenju_network.dir/network.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/network/net_config.hh \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/check/hooks.hh \
  /root/repo/src/sim/types.hh /usr/include/c++/12/limits \
- /root/repo/src/network/packet.hh /root/repo/src/directory/bit_pattern.hh \
+ /root/repo/src/network/net_config.hh /root/repo/src/network/packet.hh \
+ /root/repo/src/directory/bit_pattern.hh \
  /root/repo/src/directory/node_set.hh /root/repo/src/sim/logging.hh \
  /usr/include/c++/12/cstdarg /root/repo/src/network/topology.hh \
  /root/repo/src/network/xbar_switch.hh /usr/include/c++/12/array \

@@ -222,8 +222,8 @@ src/network/CMakeFiles/cenju_network.dir/xbar_switch.cc.o: \
  /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/logging.hh \
  /root/repo/src/sim/types.hh /root/repo/src/network/network.hh \
- /root/repo/src/sim/stats.hh /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/check/hooks.hh /root/repo/src/sim/stats.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/protocol/coh_msg.cc" "src/protocol/CMakeFiles/cenju_protocol.dir/coh_msg.cc.o" "gcc" "src/protocol/CMakeFiles/cenju_protocol.dir/coh_msg.cc.o.d"
   "/root/repo/src/protocol/home.cc" "src/protocol/CMakeFiles/cenju_protocol.dir/home.cc.o" "gcc" "src/protocol/CMakeFiles/cenju_protocol.dir/home.cc.o.d"
   "/root/repo/src/protocol/master.cc" "src/protocol/CMakeFiles/cenju_protocol.dir/master.cc.o" "gcc" "src/protocol/CMakeFiles/cenju_protocol.dir/master.cc.o.d"
+  "/root/repo/src/protocol/proto_config.cc" "src/protocol/CMakeFiles/cenju_protocol.dir/proto_config.cc.o" "gcc" "src/protocol/CMakeFiles/cenju_protocol.dir/proto_config.cc.o.d"
   "/root/repo/src/protocol/slave.cc" "src/protocol/CMakeFiles/cenju_protocol.dir/slave.cc.o" "gcc" "src/protocol/CMakeFiles/cenju_protocol.dir/slave.cc.o.d"
   )
 

@@ -195,10 +195,10 @@ src/protocol/CMakeFiles/cenju_protocol.dir/__/node/dsm_node.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/check/hooks.hh \
+ /root/repo/src/sim/types.hh /usr/include/c++/12/limits \
  /root/repo/src/memory/address_map.hh /root/repo/src/sim/logging.hh \
- /usr/include/c++/12/cstdarg /root/repo/src/sim/types.hh \
- /usr/include/c++/12/limits /root/repo/src/memory/main_memory.hh \
+ /usr/include/c++/12/cstdarg /root/repo/src/memory/main_memory.hh \
  /usr/include/c++/12/array /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cenju_protocol.dir/home.cc.o.d"
   "CMakeFiles/cenju_protocol.dir/master.cc.o"
   "CMakeFiles/cenju_protocol.dir/master.cc.o.d"
+  "CMakeFiles/cenju_protocol.dir/proto_config.cc.o"
+  "CMakeFiles/cenju_protocol.dir/proto_config.cc.o.d"
   "CMakeFiles/cenju_protocol.dir/slave.cc.o"
   "CMakeFiles/cenju_protocol.dir/slave.cc.o.d"
   "libcenju_protocol.a"

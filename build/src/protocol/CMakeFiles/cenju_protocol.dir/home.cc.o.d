@@ -201,14 +201,14 @@ src/protocol/CMakeFiles/cenju_protocol.dir/home.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/directory/directory.hh /root/repo/src/directory/entry.hh \
  /root/repo/src/directory/cenju_node_map.hh /usr/include/c++/12/array \
  /root/repo/src/directory/bit_pattern.hh \
- /root/repo/src/directory/node_set.hh /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/logging.hh \
+ /root/repo/src/directory/node_set.hh /root/repo/src/sim/logging.hh \
  /usr/include/c++/12/cstdarg /root/repo/src/sim/types.hh \
  /usr/include/c++/12/limits /root/repo/src/directory/node_map.hh \
  /root/repo/src/memory/msg_queue.hh /usr/include/c++/12/cstddef \
@@ -244,9 +244,10 @@ src/protocol/CMakeFiles/cenju_protocol.dir/home.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/node/dsm_node.hh \
- /root/repo/src/network/network.hh /root/repo/src/network/net_config.hh \
- /root/repo/src/network/topology.hh /root/repo/src/network/xbar_switch.hh \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/check/hooks.hh /root/repo/src/network/network.hh \
+ /root/repo/src/network/net_config.hh /root/repo/src/network/topology.hh \
+ /root/repo/src/network/xbar_switch.hh /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /root/repo/src/network/gather_table.hh /root/repo/src/sim/event_queue.hh \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/logging.hh /root/repo/src/sim/types.hh \

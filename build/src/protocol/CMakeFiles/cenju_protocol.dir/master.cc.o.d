@@ -242,9 +242,10 @@ src/protocol/CMakeFiles/cenju_protocol.dir/master.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/protocol/coh_msg.hh \
  /root/repo/src/network/packet.hh /root/repo/src/directory/bit_pattern.hh \
  /root/repo/src/directory/node_set.hh /root/repo/src/node/dsm_node.hh \
- /root/repo/src/memory/msg_queue.hh /usr/include/c++/12/cstddef \
- /root/repo/src/network/network.hh /root/repo/src/network/net_config.hh \
- /root/repo/src/network/topology.hh /root/repo/src/network/xbar_switch.hh \
+ /root/repo/src/check/hooks.hh /root/repo/src/memory/msg_queue.hh \
+ /usr/include/c++/12/cstddef /root/repo/src/network/network.hh \
+ /root/repo/src/network/net_config.hh /root/repo/src/network/topology.hh \
+ /root/repo/src/network/xbar_switch.hh \
  /root/repo/src/network/gather_table.hh /root/repo/src/sim/event_queue.hh \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/logging.hh /root/repo/src/sim/types.hh \

@@ -242,9 +242,10 @@ src/protocol/CMakeFiles/cenju_protocol.dir/slave.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/node/dsm_node.hh \
- /root/repo/src/network/network.hh /root/repo/src/network/net_config.hh \
- /root/repo/src/network/topology.hh /root/repo/src/network/xbar_switch.hh \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/check/hooks.hh /root/repo/src/network/network.hh \
+ /root/repo/src/network/net_config.hh /root/repo/src/network/topology.hh \
+ /root/repo/src/network/xbar_switch.hh /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /root/repo/src/network/gather_table.hh /root/repo/src/sim/event_queue.hh \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/logging.hh /root/repo/src/sim/types.hh \

@@ -298,7 +298,8 @@ tests/CMakeFiles/test_msgpass.dir/test_msgpass.cc.o: \
  /root/repo/src/network/packet.hh /root/repo/src/directory/bit_pattern.hh \
  /root/repo/src/directory/node_set.hh /root/repo/src/sim/logging.hh \
  /usr/include/c++/12/cstdarg /root/repo/src/sim/types.hh \
- /root/repo/src/node/dsm_node.hh /root/repo/src/memory/address_map.hh \
+ /root/repo/src/node/dsm_node.hh /root/repo/src/check/hooks.hh \
+ /root/repo/src/memory/address_map.hh \
  /root/repo/src/memory/main_memory.hh /root/repo/src/memory/msg_queue.hh \
  /root/repo/src/network/network.hh /root/repo/src/network/net_config.hh \
  /root/repo/src/network/topology.hh /root/repo/src/network/xbar_switch.hh \

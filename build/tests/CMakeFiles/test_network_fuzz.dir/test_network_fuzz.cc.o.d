@@ -295,8 +295,9 @@ tests/CMakeFiles/test_network_fuzz.dir/test_network_fuzz.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/network/network.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/network/net_config.hh /root/repo/src/sim/types.hh \
- /root/repo/src/network/packet.hh /root/repo/src/directory/bit_pattern.hh \
+ /root/repo/src/check/hooks.hh /root/repo/src/sim/types.hh \
+ /root/repo/src/network/net_config.hh /root/repo/src/network/packet.hh \
+ /root/repo/src/directory/bit_pattern.hh \
  /root/repo/src/directory/node_set.hh /root/repo/src/sim/logging.hh \
  /usr/include/c++/12/cstdarg /root/repo/src/network/topology.hh \
  /root/repo/src/network/xbar_switch.hh \

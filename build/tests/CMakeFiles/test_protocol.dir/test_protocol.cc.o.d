@@ -297,9 +297,10 @@ tests/CMakeFiles/test_protocol.dir/test_protocol.cc.o: \
  /usr/include/c++/12/cstdarg /root/repo/src/sim/types.hh \
  /root/repo/src/node/dsm_node.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/memory/main_memory.hh /root/repo/src/memory/msg_queue.hh \
- /root/repo/src/network/network.hh /root/repo/src/network/net_config.hh \
- /root/repo/src/network/packet.hh /root/repo/src/directory/bit_pattern.hh \
+ /root/repo/src/check/hooks.hh /root/repo/src/memory/main_memory.hh \
+ /root/repo/src/memory/msg_queue.hh /root/repo/src/network/network.hh \
+ /root/repo/src/network/net_config.hh /root/repo/src/network/packet.hh \
+ /root/repo/src/directory/bit_pattern.hh \
  /root/repo/src/directory/node_set.hh /root/repo/src/network/topology.hh \
  /root/repo/src/network/xbar_switch.hh \
  /root/repo/src/network/gather_table.hh /root/repo/src/sim/event_queue.hh \

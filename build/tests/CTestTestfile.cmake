@@ -16,3 +16,4 @@ include("/root/repo/build/tests/test_msgpass[1]_include.cmake")
 include("/root/repo/build/tests/test_deadlock[1]_include.cmake")
 include("/root/repo/build/tests/test_update[1]_include.cmake")
 include("/root/repo/build/tests/test_network_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_modelcheck[1]_include.cmake")

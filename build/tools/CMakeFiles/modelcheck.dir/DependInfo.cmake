@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/modelcheck.cc" "tools/CMakeFiles/modelcheck.dir/modelcheck.cc.o" "gcc" "tools/CMakeFiles/modelcheck.dir/modelcheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/check/CMakeFiles/cenju_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cenju_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgpass/CMakeFiles/cenju_msgpass.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/cenju_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/cenju_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/cenju_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cenju_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelcheck.dir/modelcheck.cc.o"
+  "CMakeFiles/modelcheck.dir/modelcheck.cc.o.d"
+  "modelcheck"
+  "modelcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -30,6 +30,17 @@ DsmSystem::DsmSystem(const SystemConfig &cfg) : _cfg(cfg)
     }
     _shmBump.assign(cfg.numNodes, 0);
     _snapshots.resize(cfg.numNodes);
+
+    if (cfg.proto.runtimeChecks) {
+        std::vector<DsmNode *> raw;
+        for (auto &n : _nodes)
+            raw.push_back(n.get());
+        _checker = std::make_unique<check::RuntimeChecker>(
+            std::move(raw), check::RuntimeChecker::OnViolation::Panic);
+        for (auto &n : _nodes)
+            n->setCheckHook(_checker.get());
+        _net->setCheckHook(_checker.get());
+    }
 }
 
 DsmSystem::~DsmSystem() = default;
@@ -163,6 +174,94 @@ DsmSystem::collectStats() const
                                   e.finishTick - _runStartTick);
     }
     return r;
+}
+
+bool
+DsmSystem::replayTrace(const check::Trace &t)
+{
+    if (t.cfg.nodes != _cfg.numNodes) {
+        fatal("replayTrace: trace wants %u nodes, system has %u",
+              t.cfg.nodes, _cfg.numNodes);
+    }
+    if (t.cfg.protocol != _cfg.proto.protocol ||
+        t.cfg.bug != _cfg.proto.injectBug) {
+        fatal("replayTrace: trace protocol/bug configuration does "
+              "not match this system");
+    }
+
+    // Replay self-checking even when the system was built without
+    // runtimeChecks: attach a panicking checker for the duration.
+    std::unique_ptr<check::RuntimeChecker> local;
+    if (!_checker) {
+        std::vector<DsmNode *> raw;
+        for (auto &n : _nodes)
+            raw.push_back(n.get());
+        local = std::make_unique<check::RuntimeChecker>(
+            std::move(raw),
+            check::RuntimeChecker::OnViolation::Panic);
+        for (auto &n : _nodes)
+            n->setCheckHook(local.get());
+        _net->setCheckHook(local.get());
+    }
+    check::RuntimeChecker &ck = _checker ? *_checker : *local;
+
+    bool all_done = true;
+    struct Status
+    {
+        bool done = false;
+    };
+    for (std::size_t bi = 0; bi < t.batches.size() && all_done;
+         ++bi) {
+        const auto &batch = t.batches[bi];
+        std::vector<Status> status(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const check::Op &op = batch[i];
+            Addr addr = blockAddress(t.cfg, op.block);
+            MasterModule &m = _nodes[op.node]->master();
+            Status &st = status[i];
+            switch (op.kind) {
+              case check::OpKind::Load:
+                m.load(addr, [&st](std::uint64_t) {
+                    st.done = true;
+                });
+                break;
+              case check::OpKind::Store:
+                m.store(addr, op.value, [&st] { st.done = true; });
+                break;
+              case check::OpKind::Flush:
+                m.flushBlock(addr);
+                st.done = true;
+                break;
+            }
+        }
+        _eq.run();
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (!status[i].done) {
+                const check::Op &op = batch[i];
+                warn("replay batch %zu: %s n%u b%u never "
+                     "completed (starved)",
+                     bi, check::opKindName(op.kind), op.node,
+                     op.block);
+                all_done = false;
+            }
+        }
+        if (all_done)
+            ck.checkQuiescent();
+    }
+    if (!all_done) {
+        std::vector<DsmNode *> raw;
+        for (auto &n : _nodes)
+            raw.push_back(n.get());
+        warn("stall diagnosis:\n%s",
+             check::diagnoseStall(raw).c_str());
+    }
+
+    if (local) {
+        for (auto &n : _nodes)
+            n->setCheckHook(nullptr);
+        _net->setCheckHook(nullptr);
+    }
+    return all_done;
 }
 
 RunStats

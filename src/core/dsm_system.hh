@@ -28,6 +28,8 @@
 #include <memory>
 #include <vector>
 
+#include "check/invariants.hh"
+#include "check/trace.hh"
 #include "core/env.hh"
 #include "core/mapping.hh"
 #include "core/sync.hh"
@@ -136,6 +138,18 @@ class DsmSystem
     RunStats
     runEach(const std::vector<std::function<Task(Env &)>> &programs);
 
+    /**
+     * Replay a model-checker counterexample trace (docs/CHECKING.md)
+     * on THIS system, batch by batch, panicking at the first
+     * invariant violation — the debugger-friendly reproduction path
+     * for tools/modelcheck --replay. The system must have been built
+     * with numNodes == t.cfg.nodes and proto matching t.cfg
+     * (protocol flavour and injected bug).
+     * @retval false if an operation of the trace never completed
+     *         (starvation counterexample)
+     */
+    bool replayTrace(const check::Trace &t);
+
     // --- component access (benches, tests) -------------------------
 
     EventQueue &eq() { return _eq; }
@@ -156,6 +170,10 @@ class DsmSystem
     EventQueue _eq;
     std::unique_ptr<Network> _net;
     std::vector<std::unique_ptr<DsmNode>> _nodes;
+
+    /** Self-checking mode (proto.runtimeChecks / CENJU_CHECK):
+     * panics at the first invariant violation of any run. */
+    std::unique_ptr<check::RuntimeChecker> _checker;
     std::vector<std::unique_ptr<MsgEngine>> _engines;
     std::vector<std::unique_ptr<SyncEngine>> _syncs;
     std::vector<std::unique_ptr<Env>> _envs;

@@ -59,6 +59,16 @@ class Directory
     /** Number of touched entries. */
     std::size_t touchedEntries() const { return _entries.size(); }
 
+    /** Visit every touched entry as f(localBlock, entry) (checker
+     * sweeps; iteration order is unspecified). */
+    template <typename F>
+    void
+    forEachEntry(F f) const
+    {
+        for (const auto &[block, entry] : _entries)
+            f(block, entry);
+    }
+
     unsigned numNodes() const { return _numNodes; }
     NodeMapKind schemeKind() const { return _kind; }
 

@@ -84,6 +84,11 @@ class MsgQueue
 
     const std::string &name() const { return _name; }
 
+    /** Read-only view of the queued entries, head first (checker
+     * introspection; the hardware cannot do this, the simulator
+     * can). */
+    const std::deque<T> &items() const { return _q; }
+
   private:
     std::string _name;
     std::size_t _capacity;

@@ -159,6 +159,9 @@ Network::ejectDeliver(NodeId n, PacketPtr pkt)
     _latency.sample(
         static_cast<double>(_eq.now() - pkt->injectTick));
     _endpoints[n]->deliver(std::move(pkt));
+    if (_checkHook) {
+        _checkHook->onStep(check::StepKind::NetworkDeliver, n, 0);
+    }
 }
 
 void

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/hooks.hh"
 #include "network/net_config.hh"
 #include "network/packet.hh"
 #include "network/topology.hh"
@@ -86,6 +87,10 @@ class Network
 
     StatGroup &stats() { return _stats; }
 
+    /** Invariant hook observing deliveries (may be null). */
+    check::CheckHook *checkHook() const { return _checkHook; }
+    void setCheckHook(check::CheckHook *hook) { _checkHook = hook; }
+
     /** Packets accepted for transmission so far. */
     std::uint64_t injectedCount() const { return _injected; }
 
@@ -139,6 +144,8 @@ class Network
     std::vector<NetEndpoint *> _endpoints;
     std::vector<std::pair<XbarSwitch *, unsigned>> _ejectWaiters;
     std::vector<NodeId> _ejectWaiterNodes;
+
+    check::CheckHook *_checkHook = nullptr;
 
     StatGroup _stats{"network"};
     Counter &_injectedCtr;

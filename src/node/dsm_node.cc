@@ -19,7 +19,12 @@ void
 DsmNode::dispatch(std::unique_ptr<CohPacket> pkt)
 {
     if (isGrant(pkt->type)) {
+        Addr addr = pkt->addr;
         _master.handleGrant(*pkt);
+        if (_checkHook) {
+            _checkHook->onStep(check::StepKind::MasterGrant, _id,
+                               addr);
+        }
     } else if (isSlaveBound(pkt->type)) {
         _slave.enqueue(std::move(pkt));
     } else if (isHomeBound(pkt->type)) {
@@ -64,6 +69,21 @@ DsmNode::trySendFromSlave(std::unique_ptr<CohPacket> &pkt)
     }
     if (_slaveOut)
         return false;
+    // Per-address ordering interlock: a WriteBack for the same block
+    // still parked in the master output queue must reach the home
+    // before this reply. The appendix resolves the writeback race by
+    // memory order (the WB is processed even while the block is
+    // pending), which assumes node-to-home FIFO per address; the
+    // round-robin pump below would otherwise let a slave ack
+    // overtake the WB when the injection queue is congested, and
+    // the home would serve the stale memory copy.
+    for (const auto &p : _masterOut) {
+        const auto *coh = dynamic_cast<const CohPacket *>(p.get());
+        if (coh && coh->type == CohMsgType::WriteBack &&
+            blockBase(coh->addr) == blockBase(pkt->addr)) {
+            return false;
+        }
+    }
     ++_sent;
     _slaveOut = std::move(pkt);
     pumpOutput();
@@ -170,6 +190,9 @@ DsmNode::pumpOutput()
             _home.outputSpaceAvailable();
         } else {
             _masterOut.pop_front();
+            // A drained writeback may unblock a slave reply held by
+            // the per-address ordering interlock.
+            _slave.outputSpaceAvailable();
         }
     }
 }

@@ -19,6 +19,7 @@
 #include <deque>
 #include <memory>
 
+#include "check/hooks.hh"
 #include "memory/address_map.hh"
 #include "memory/main_memory.hh"
 #include "memory/msg_queue.hh"
@@ -116,6 +117,12 @@ class DsmNode : public NetEndpoint
     /** Inject a user-level packet (also used for local loopback). */
     void sendUser(PacketPtr pkt);
 
+    // --- checking subsystem (src/check, docs/CHECKING.md) ---------
+
+    /** Invariant hook observing this node's engines (may be null). */
+    check::CheckHook *checkHook() const { return _checkHook; }
+    void setCheckHook(check::CheckHook *hook) { _checkHook = hook; }
+
   private:
     /** Dispatch a protocol message to the right module. */
     void dispatch(std::unique_ptr<CohPacket> pkt);
@@ -151,6 +158,8 @@ class DsmNode : public NetEndpoint
 
     std::function<void(PacketPtr)> _userHandler;
     std::deque<PacketPtr> _userOut;
+
+    check::CheckHook *_checkHook = nullptr;
 
     std::uint64_t _sent = 0;
 };

@@ -41,7 +41,21 @@ HomeModule::processNext()
     if (!_node.cfg().deadlockAvoidance)
         _node.inputSpaceFreed();
     Tick charge = dispatch(*pkt);
+    if (auto *hook = _node.checkHook()) {
+        hook->onStep(check::StepKind::HomeDispatch, _node.id(),
+                     pkt->addr);
+    }
     _node.eq().scheduleAfter(charge, [this] { processNext(); });
+}
+
+std::vector<Addr>
+HomeModule::pendingAddrs() const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(_pending.size());
+    for (const auto &[addr, op] : _pending)
+        addrs.push_back(addr);
+    return addrs;
 }
 
 void
@@ -132,7 +146,8 @@ HomeModule::queueRequest(CohMsgType type, Addr addr, NodeId master,
     _reqQueue.push(QueuedReq{type, addr, master, mshr});
     ++requestsQueued;
     queueWaitDepth.sample(static_cast<double>(_reqQueue.size()));
-    if (was_empty) {
+    if (was_empty &&
+        _node.cfg().injectBug != ProtoBug::SkipReservation) {
         // The request sits at the top of the queue: mark its block
         // so the completing reply triggers the queue scan.
         entryFor(addr).setReservation(true);
@@ -172,7 +187,8 @@ HomeModule::handleRequestAs(CohMsgType type, Addr addr,
             return t;
         }
         if (e.state() == MemState::Clean) {
-            map.add(master);
+            if (_node.cfg().injectBug != ProtoBug::DropSharer)
+                map.add(master);
             t += tp.memoryAccess;
             grantWithData(CohMsgType::GrantShared, t);
             return t;

@@ -19,6 +19,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "directory/directory.hh"
 #include "memory/msg_queue.hh"
@@ -56,6 +57,7 @@ class HomeModule
     std::size_t inputBacklog() const { return _input.size(); }
 
     Directory &directory() { return _dir; }
+    const Directory &directory() const { return _dir; }
     const MsgQueue<QueuedReq> &requestQueue() const
     {
         return _reqQueue;
@@ -63,6 +65,18 @@ class HomeModule
 
     /** Pending directory operations in flight. */
     std::size_t pendingOps() const { return _pending.size(); }
+
+    /** True if a directory operation for @p addr is in flight. */
+    bool hasPendingOp(Addr addr) const
+    {
+        return _pending.find(addr) != _pending.end();
+    }
+
+    /** Addresses with an in-flight directory operation. */
+    std::vector<Addr> pendingAddrs() const;
+
+    /** Invalidation rounds parked behind the busy gather unit. */
+    std::size_t gatherBacklog() const { return _gatherWait.size(); }
 
     // statistics
     Counter requestsProcessed;
@@ -124,9 +138,6 @@ class HomeModule
      * are gathered when the multicast path is used.
      */
     Tick startInvalidation(Addr addr, Tick t);
-
-    /** Complete a pending op with a grant to the master. */
-    Tick completePending(Addr addr, Tick t);
 
     /** Emit @p pkt at busy-offset @p t from now. */
     void emitAt(Tick t, std::unique_ptr<CohPacket> pkt);

@@ -36,6 +36,17 @@ MasterModule::outstanding() const
     return n;
 }
 
+std::vector<Addr>
+MasterModule::outstandingBlocks() const
+{
+    std::vector<Addr> blocks;
+    for (const Mshr &m : _mshrs) {
+        if (m.busy)
+            blocks.push_back(m.blockAddr);
+    }
+    return blocks;
+}
+
 void
 MasterModule::load(Addr addr, LoadCallback done)
 {
@@ -326,6 +337,24 @@ MasterModule::missShared(Addr addr, bool is_store,
             line->pinned = true;
     }
     sendRequest(slot);
+    if (auto *hook = _node.checkHook()) {
+        hook->onStep(check::StepKind::MasterIssue, _node.id(),
+                     block);
+    }
+}
+
+bool
+MasterModule::flushBlock(Addr addr)
+{
+    CacheLine *line = _node.cache().lookup(addr);
+    if (!line || line->pinned)
+        return false;
+    evict(*line);
+    if (auto *hook = _node.checkHook()) {
+        hook->onStep(check::StepKind::MasterIssue, _node.id(),
+                     blockBase(addr));
+    }
+    return true;
 }
 
 void

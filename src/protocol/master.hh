@@ -19,6 +19,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "protocol/cache.hh"
 #include "protocol/coh_msg.hh"
@@ -62,11 +63,23 @@ class MasterModule
     /** A grant (or nack) arrived from a home. */
     void handleGrant(const CohPacket &pkt);
 
+    /**
+     * Drop @p addr's block from the cache exactly as a replacement
+     * would (writeback when Modified, silent otherwise). Used by the
+     * checking subsystem to explore eviction/writeback interleavings
+     * without constructing conflict-miss address patterns.
+     * @return true if a valid, unpinned line was evicted
+     */
+    bool flushBlock(Addr addr);
+
     /** Classify @p addr relative to this node. */
     AccessClass classify(Addr addr) const;
 
     /** Outstanding shared requests right now. */
     unsigned outstanding() const;
+
+    /** Block addresses of busy MSHRs (stall diagnostics). */
+    std::vector<Addr> outstandingBlocks() const;
 
     // statistics, aggregated by the system layer
     Counter loads;

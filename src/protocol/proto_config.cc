@@ -1,0 +1,34 @@
+#include "protocol/proto_config.hh"
+
+#include <cstdlib>
+
+namespace cenju
+{
+
+const char *
+protoBugName(ProtoBug b)
+{
+    switch (b) {
+      case ProtoBug::None:
+        return "none";
+      case ProtoBug::SkipReservation:
+        return "skip-reservation";
+      case ProtoBug::DropSharer:
+        return "drop-sharer";
+    }
+    return "?";
+}
+
+bool
+ProtocolConfig::defaultRuntimeChecks()
+{
+    if (const char *env = std::getenv("CENJU_CHECK"))
+        return env[0] != '\0' && env[0] != '0';
+#ifdef CENJU_CHECK
+    return true;
+#else
+    return false;
+#endif
+}
+
+} // namespace cenju

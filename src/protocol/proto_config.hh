@@ -24,6 +24,29 @@ enum class ProtocolKind
     Nack,    ///< DASH-style: negative-acknowledge and retry
 };
 
+/**
+ * Deliberate protocol bugs, injectable so the checking subsystem
+ * (src/check, docs/CHECKING.md) can demonstrate that it detects
+ * them. None of these can fire in a default-configured system.
+ */
+enum class ProtoBug : std::uint8_t
+{
+    None,
+
+    /** Park a conflicting request without setting the reservation
+     * bit (paper section 3.3): the completing reply never scans the
+     * memory queue and the parked request starves. */
+    SkipReservation,
+
+    /** Forget to register a second sharer in the directory node map
+     * on a clean read: the map stops being a superset of the true
+     * sharers and a later invalidation round misses a cached copy. */
+    DropSharer,
+};
+
+/** Printable bug-knob name (modelcheck CLI / traces). */
+const char *protoBugName(ProtoBug b);
+
 /** Per-node protocol and cache parameters. */
 struct ProtocolConfig
 {
@@ -57,6 +80,22 @@ struct ProtocolConfig
      * the deadlockable configuration (ablation A4).
      */
     bool deadlockAvoidance = true;
+
+    /** Injected protocol bug (checker validation only). */
+    ProtoBug injectBug = ProtoBug::None;
+
+    /**
+     * Attach a runtime invariant checker to every node and the
+     * network when the system is built through DsmSystem (the
+     * engines then self-check after every protocol step and panic
+     * on the first violation). Defaults on when the library is
+     * compiled with -DCENJU_CHECK (the `check` CMake preset) or the
+     * CENJU_CHECK environment variable is set to a nonzero value.
+     */
+    bool runtimeChecks = defaultRuntimeChecks();
+
+    /** Compile-time/environment default for runtimeChecks. */
+    static bool defaultRuntimeChecks();
 
     /** Timing constants. */
     TimingParams timing;

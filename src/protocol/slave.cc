@@ -144,6 +144,11 @@ SlaveModule::serve(std::unique_ptr<CohPacket> pkt, Tick extra)
               cohMsgTypeName(pkt->type));
     }
 
+    if (auto *hook = _node.checkHook()) {
+        hook->onStep(check::StepKind::SlaveServe, _node.id(),
+                     pkt->addr);
+    }
+
     // Update applications go straight to the memory controller (the
     // extension's "third-level cache in main memory"), cheaper than
     // a full slave-engine pass.

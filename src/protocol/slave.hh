@@ -51,6 +51,9 @@ class SlaveModule
     /** High-water mark of the memory overflow queue. */
     std::size_t memHighWater() const { return _mem.highWater(); }
 
+    /** True if a reply is stalled on the node's output register. */
+    bool replyStalled() const { return _stalledReply != nullptr; }
+
     // statistics
     Counter invalidationsReceived;
     Counter forwardsReceived;
