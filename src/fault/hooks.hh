@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hook interface between the network engines and the fault-injection
+ * subsystem (docs/TESTING.md).
+ *
+ * Mirrors check/hooks.hh: a dependency-free header every engine
+ * library can include without a cycle. The network and its switches
+ * consult an attached FaultHook at the few decision points where a
+ * *legal* adversarial perturbation can be applied — capacity checks
+ * and service-eligibility checks. Every perturbation is a delay or a
+ * transient capacity squeeze; none reorders messages on a path or
+ * drops one, so a correct protocol must tolerate any FaultHook and
+ * the invariant catalog must stay clean under it.
+ *
+ * Callsites are a single predicted-not-taken branch when no hook is
+ * attached, so the plumbing is always compiled in (the same contract
+ * as the checking hooks).
+ */
+
+#ifndef CENJU_FAULT_HOOKS_HH
+#define CENJU_FAULT_HOOKS_HH
+
+#include "sim/types.hh"
+
+namespace cenju::fault
+{
+
+/** Adversarial-but-legal perturbation oracle for the network. */
+class FaultHook
+{
+  public:
+    virtual ~FaultHook() = default;
+
+    /**
+     * Effective capacity of node @p n's injection queue right now
+     * (a transient squeeze returns less than @p base, never 0).
+     */
+    virtual unsigned injectQueueCapacity(NodeId n,
+                                         unsigned base) = 0;
+
+    /**
+     * Effective capacity of every crosspoint buffer of switch
+     * (@p stage, @p row) right now (>= 1).
+     */
+    virtual unsigned xbCapacity(unsigned stage, unsigned row,
+                                unsigned base) = 0;
+
+    /**
+     * True while output @p out of switch (@p stage, @p row) must
+     * not start serving a packet (a stall window). The injector
+     * re-arbitrates the port when the window closes.
+     */
+    virtual bool switchOutputHeld(unsigned stage, unsigned row,
+                                  unsigned out) = 0;
+
+    /**
+     * True while deliveries toward endpoint @p dst are ineligible.
+     * Blocked packets wait in FIFO order at the final stage, so
+     * per-path ordering is preserved; the injector retries the
+     * deliveries when the window closes.
+     */
+    virtual bool deliveryHeld(NodeId dst) = 0;
+};
+
+} // namespace cenju::fault
+
+#endif // CENJU_FAULT_HOOKS_HH

@@ -1,0 +1,146 @@
+#include "fault/injector.hh"
+
+#include "core/dsm_system.hh"
+
+namespace cenju::fault
+{
+
+FaultInjector::FaultInjector(DsmSystem &sys)
+    : _sys(sys), _stages(sys.network().topology().stages()),
+      _rows(sys.network().topology().rowsPerStage()),
+      _injectSqueeze(sys.numNodes(), 0),
+      _xbSqueeze(std::size_t(_stages) * _rows, 0),
+      _stallHolds(std::size_t(_stages) * _rows * switchRadix, 0),
+      _deliveryHolds(sys.numNodes(), 0)
+{
+    _sys.network().setFaultHook(this);
+}
+
+FaultInjector::~FaultInjector()
+{
+    _sys.network().setFaultHook(nullptr);
+}
+
+FaultEvent
+FaultInjector::clamp(const FaultEvent &e) const
+{
+    FaultEvent c = e;
+    c.node = e.node % _sys.numNodes();
+    c.stage = e.stage % _stages;
+    c.row = e.row % _rows;
+    c.port = e.port % switchRadix;
+    if (c.amount == 0)
+        c.amount = 1;
+    if (c.duration == 0)
+        c.duration = 1;
+    return c;
+}
+
+void
+FaultInjector::arm(const FaultPlan &plan)
+{
+    EventQueue &eq = _sys.eq();
+    for (const FaultEvent &raw : plan.events) {
+        FaultEvent e = clamp(raw);
+        eq.schedule(eq.now() + e.start, [this, e] { open(e); });
+        eq.schedule(eq.now() + e.start + e.duration,
+                    [this, e] { close(e); });
+    }
+}
+
+void
+FaultInjector::open(const FaultEvent &e)
+{
+    ++_active;
+    ++_opened;
+    switch (e.kind) {
+      case FaultKind::InjectSqueeze:
+        _injectSqueeze[e.node] += e.amount;
+        break;
+      case FaultKind::XbSqueeze:
+        _xbSqueeze[e.stage * _rows + e.row] += e.amount;
+        break;
+      case FaultKind::SwitchStall:
+        ++_stallHolds[(e.stage * _rows + e.row) * switchRadix +
+                      e.port];
+        break;
+      case FaultKind::DeliveryHold:
+        ++_deliveryHolds[e.node];
+        break;
+      case FaultKind::OutputHold:
+        _sys.node(e.node).faultHoldOutput();
+        break;
+      case FaultKind::HomeStall:
+        _sys.node(e.node).home().faultHoldDispatch();
+        break;
+      case FaultKind::GatherHold:
+        _sys.node(e.node).home().faultHoldGather();
+        break;
+    }
+}
+
+void
+FaultInjector::close(const FaultEvent &e)
+{
+    --_active;
+    Network &net = _sys.network();
+    switch (e.kind) {
+      case FaultKind::InjectSqueeze:
+        _injectSqueeze[e.node] -= e.amount;
+        net.faultInjectRetry(e.node);
+        break;
+      case FaultKind::XbSqueeze:
+        _xbSqueeze[e.stage * _rows + e.row] -= e.amount;
+        net.switchAt(e.stage, e.row).faultKick();
+        break;
+      case FaultKind::SwitchStall:
+        if (--_stallHolds[(e.stage * _rows + e.row) * switchRadix +
+                          e.port] == 0)
+            net.switchAt(e.stage, e.row).faultKick();
+        break;
+      case FaultKind::DeliveryHold:
+        if (--_deliveryHolds[e.node] == 0)
+            net.deliveryRetry(e.node);
+        break;
+      case FaultKind::OutputHold:
+        _sys.node(e.node).faultReleaseOutput();
+        break;
+      case FaultKind::HomeStall:
+        _sys.node(e.node).home().faultReleaseDispatch();
+        break;
+      case FaultKind::GatherHold:
+        _sys.node(e.node).home().faultReleaseGather();
+        break;
+    }
+}
+
+unsigned
+FaultInjector::injectQueueCapacity(NodeId n, unsigned base)
+{
+    unsigned amt = _injectSqueeze[n];
+    return amt ? squeezed(base, amt) : base;
+}
+
+unsigned
+FaultInjector::xbCapacity(unsigned stage, unsigned row,
+                          unsigned base)
+{
+    unsigned amt = _xbSqueeze[stage * _rows + row];
+    return amt ? squeezed(base, amt) : base;
+}
+
+bool
+FaultInjector::switchOutputHeld(unsigned stage, unsigned row,
+                                unsigned out)
+{
+    return _stallHolds[(stage * _rows + row) * switchRadix + out] >
+           0;
+}
+
+bool
+FaultInjector::deliveryHeld(NodeId dst)
+{
+    return _deliveryHolds[dst] > 0;
+}
+
+} // namespace cenju::fault

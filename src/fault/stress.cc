@@ -1,0 +1,415 @@
+#include "fault/stress.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/dsm_system.hh"
+#include "fault/injector.hh"
+#include "sim/rng.hh"
+
+namespace cenju::fault
+{
+
+bool
+protoBugFromName(const std::string &s, ProtoBug &out)
+{
+    for (auto b : {ProtoBug::None, ProtoBug::SkipReservation,
+                   ProtoBug::DropSharer}) {
+        if (s == protoBugName(b)) {
+            out = b;
+            return true;
+        }
+    }
+    return false;
+}
+
+StressCase
+makeStressCase(std::uint64_t seed, const StressOptions &opts)
+{
+    Rng root(seed);
+    Rng wrng = root.split(1);  // workload stream
+    Rng frng = root.split(2);  // fault stream
+    Rng srng = root.split(3);  // system-parameter stream
+
+    StressCase c;
+    c.nodes = opts.nodes;
+    c.bug = opts.bug;
+    // Small crosspoint buffers tighten back-pressure so fault
+    // windows actually bite.
+    c.xbCapacity = 2 + unsigned(srng.below(3));
+
+    c.workload.pattern = opts.patternFixed
+        ? opts.pattern
+        : static_cast<StressPattern>(
+              srng.below(numStressPatterns));
+    c.workload.blocks = 2 + unsigned(srng.below(5));
+    c.workload.opsPerNode = 16 + unsigned(srng.below(33));
+    c.workload.rounds = 2 + unsigned(srng.below(2));
+    c.workload.seed = wrng.next();
+
+    PlanShape shape;
+    shape.nodes = c.nodes;
+    {
+        // Mirror Topology::defaultStages (enough radix-4 stages,
+        // rounded up to even past one) so plan targets land on real
+        // switches without clamping.
+        unsigned stages = 0;
+        unsigned cap = 1;
+        while (cap < c.nodes) {
+            cap *= switchRadix;
+            ++stages;
+        }
+        if (stages == 0)
+            stages = 1;
+        else if (stages > 1 && stages % 2)
+            ++stages;
+        shape.stages = stages;
+        shape.rows = 1u << (2 * (stages - 1));
+    }
+    c.plan = randomPlan(frng, shape);
+    return c;
+}
+
+namespace
+{
+
+/**
+ * Forwarding CheckHook computing an FNV-1a digest over every engine
+ * step. Two runs with equal digests observed the same steps in the
+ * same order — the replay-fidelity certificate.
+ */
+class DigestHook : public check::CheckHook
+{
+  public:
+    explicit DigestHook(check::CheckHook *inner) : _inner(inner) {}
+
+    void
+    onStep(check::StepKind kind, NodeId at, Addr addr) override
+    {
+        mix(static_cast<std::uint64_t>(kind));
+        mix(at);
+        mix(addr);
+        ++_steps;
+        if (_inner)
+            _inner->onStep(kind, at, addr);
+    }
+
+    std::uint64_t digest() const { return _h; }
+    std::uint64_t steps() const { return _steps; }
+
+  private:
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            _h ^= (v >> (8 * i)) & 0xff;
+            _h *= 1099511628211ull;
+        }
+    }
+
+    check::CheckHook *_inner;
+    std::uint64_t _h = 14695981039346656037ull;
+    std::uint64_t _steps = 0;
+};
+
+} // namespace
+
+StressResult
+runStressCase(const StressCase &c, std::uint64_t eventBudget)
+{
+    SystemConfig cfg;
+    cfg.numNodes = c.nodes;
+    cfg.xbCapacity = c.xbCapacity;
+    cfg.proto.injectBug = c.bug;
+    // The harness owns checking (Collect mode, so a violating run
+    // finishes and can be shrunk); keep the system's Panic checker
+    // off.
+    cfg.proto.runtimeChecks = false;
+
+    DsmSystem sys(cfg);
+
+    std::vector<DsmNode *> raw;
+    raw.reserve(c.nodes);
+    for (NodeId n = 0; n < c.nodes; ++n)
+        raw.push_back(&sys.node(n));
+    check::RuntimeChecker checker(
+        raw, check::RuntimeChecker::OnViolation::Collect);
+    DigestHook digest(&checker);
+    for (NodeId n = 0; n < c.nodes; ++n)
+        sys.node(n).setCheckHook(&digest);
+    sys.network().setCheckHook(&digest);
+
+    FaultInjector injector(sys);
+    injector.arm(c.plan);
+
+    ShmArray arr = sys.shmAlloc(
+        std::size_t(c.workload.blocks) * ShmArray::wordsPerBlock,
+        Mapping::blockCyclic());
+    auto program = makeStressProgram(c.workload, arr);
+
+    // Bounded replica of DsmSystem::runEach: tolerate starvation
+    // (diagnose instead of fatal) and stop at the event budget.
+    std::vector<Task> tasks;
+    tasks.reserve(c.nodes);
+    for (NodeId n = 0; n < c.nodes; ++n)
+        tasks.push_back(program(sys.env(n)));
+    for (NodeId n = 0; n < c.nodes; ++n)
+        sys.eq().scheduleAfter(0, [&tasks, n] { tasks[n].start(); });
+
+    StressResult res;
+    std::uint64_t executed = 0;
+    for (;;) {
+        while (executed < eventBudget && sys.eq().runOne())
+            ++executed;
+        bool all_done = std::all_of(
+            tasks.begin(), tasks.end(),
+            [](const Task &t) { return t.done(); });
+        if (all_done) {
+            res.completed = true;
+            break;
+        }
+        if (executed >= eventBudget) {
+            res.budgetHit = true;
+            break;
+        }
+        if (sys.eq().empty())
+            break; // starved: programs pending, nothing scheduled
+    }
+
+    if (res.completed)
+        checker.checkQuiescent();
+    else
+        res.stallDiagnosis = check::diagnoseStall(raw);
+
+    res.violations = checker.violations();
+    res.digest = digest.digest();
+    res.steps = digest.steps();
+    res.events = executed;
+    res.faultWindows = injector.openedWindows();
+    return res;
+}
+
+namespace
+{
+
+bool
+stillFails(const StressCase &c, std::uint64_t budget,
+           ShrinkStats &st)
+{
+    ++st.runs;
+    return runStressCase(c, budget).failed();
+}
+
+/** ddmin-lite: drop chunks of plan events while the case fails. */
+bool
+shrinkPlan(StressCase &c, std::uint64_t budget, unsigned maxRuns,
+           ShrinkStats &st)
+{
+    bool changed = false;
+    std::size_t chunk = std::max<std::size_t>(
+        1, c.plan.events.size() / 2);
+    while (chunk >= 1 && st.runs < maxRuns) {
+        bool removed = false;
+        for (std::size_t i = 0;
+             i < c.plan.events.size() && st.runs < maxRuns;) {
+            StressCase cand = c;
+            auto begin = cand.plan.events.begin() +
+                         static_cast<std::ptrdiff_t>(i);
+            auto end = begin + static_cast<std::ptrdiff_t>(
+                std::min(chunk, cand.plan.events.size() - i));
+            cand.plan.events.erase(begin, end);
+            if (stillFails(cand, budget, st)) {
+                ++st.accepts;
+                c = std::move(cand);
+                removed = true;
+                changed = true;
+                // i now points at the next unexamined chunk
+            } else {
+                i += chunk;
+            }
+        }
+        if (chunk == 1)
+            break;
+        if (!removed)
+            chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+    return changed;
+}
+
+/** Try one scalar reduction; keep it if the case still fails. */
+template <typename Apply>
+bool
+tryReduce(StressCase &c, std::uint64_t budget, ShrinkStats &st,
+          Apply apply)
+{
+    StressCase cand = c;
+    if (!apply(cand))
+        return false; // already minimal
+    if (!stillFails(cand, budget, st))
+        return false;
+    ++st.accepts;
+    c = std::move(cand);
+    return true;
+}
+
+bool
+shrinkScalars(StressCase &c, std::uint64_t budget, unsigned maxRuns,
+              ShrinkStats &st)
+{
+    bool changed = false;
+    bool progress = true;
+    while (progress && st.runs < maxRuns) {
+        progress = false;
+        progress |= tryReduce(c, budget, st, [](StressCase &x) {
+            if (x.workload.rounds <= 1)
+                return false;
+            x.workload.rounds = (x.workload.rounds + 1) / 2;
+            return true;
+        });
+        progress |= tryReduce(c, budget, st, [](StressCase &x) {
+            if (x.workload.opsPerNode <= 1)
+                return false;
+            x.workload.opsPerNode = (x.workload.opsPerNode + 1) / 2;
+            return true;
+        });
+        progress |= tryReduce(c, budget, st, [](StressCase &x) {
+            if (x.workload.blocks <= 1)
+                return false;
+            x.workload.blocks = (x.workload.blocks + 1) / 2;
+            return true;
+        });
+        progress |= tryReduce(c, budget, st, [](StressCase &x) {
+            if (x.nodes <= 2)
+                return false;
+            x.nodes = std::max(2u, x.nodes / 2);
+            return true;
+        });
+        changed |= progress;
+    }
+    return changed;
+}
+
+} // namespace
+
+StressCase
+shrinkCase(const StressCase &failing, std::uint64_t eventBudget,
+           unsigned maxRuns, ShrinkStats *stats)
+{
+    ShrinkStats st;
+    StressCase c = failing;
+    bool progress = true;
+    while (progress && st.runs < maxRuns) {
+        progress = false;
+        progress |= shrinkPlan(c, eventBudget, maxRuns, st);
+        progress |= shrinkScalars(c, eventBudget, maxRuns, st);
+    }
+    if (stats)
+        *stats = st;
+    return c;
+}
+
+std::string
+serializeCase(const StressCase &c)
+{
+    std::ostringstream os;
+    os << "stresscase v1\n";
+    os << "nodes " << c.nodes << "\n";
+    os << "xbcap " << c.xbCapacity << "\n";
+    os << "bug " << protoBugName(c.bug) << "\n";
+    os << "pattern " << stressPatternName(c.workload.pattern)
+       << "\n";
+    os << "blocks " << c.workload.blocks << "\n";
+    os << "ops " << c.workload.opsPerNode << "\n";
+    os << "rounds " << c.workload.rounds << "\n";
+    os << "wseed " << c.workload.seed << "\n";
+    for (const FaultEvent &e : c.plan.events)
+        os << serializeFaultEvent(e) << "\n";
+    os << "end\n";
+    return os.str();
+}
+
+bool
+parseCase(const std::string &text, StressCase &out, std::string &err)
+{
+    std::istringstream is(text);
+    std::string line;
+    bool sawHeader = false;
+    bool sawEnd = false;
+    out = StressCase{};
+    out.plan.events.clear();
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (!sawHeader) {
+            std::string version;
+            ls >> version;
+            if (key != "stresscase" || version != "v1") {
+                err = "expected 'stresscase v1' header";
+                return false;
+            }
+            sawHeader = true;
+            continue;
+        }
+        if (key == "end") {
+            sawEnd = true;
+            break;
+        }
+        if (key == "fault") {
+            FaultEvent e;
+            if (!parseFaultEvent(line, e, err))
+                return false;
+            out.plan.events.push_back(e);
+            continue;
+        }
+        std::string value;
+        if (!(ls >> value)) {
+            err = "missing value for '" + key + "'";
+            return false;
+        }
+        if (key == "nodes")
+            out.nodes = unsigned(std::stoul(value));
+        else if (key == "xbcap")
+            out.xbCapacity = unsigned(std::stoul(value));
+        else if (key == "bug") {
+            if (!protoBugFromName(value, out.bug)) {
+                err = "bad bug name: " + value;
+                return false;
+            }
+        } else if (key == "pattern") {
+            if (!stressPatternFromName(value,
+                                       out.workload.pattern)) {
+                err = "bad pattern name: " + value;
+                return false;
+            }
+        } else if (key == "blocks")
+            out.workload.blocks = unsigned(std::stoul(value));
+        else if (key == "ops")
+            out.workload.opsPerNode = unsigned(std::stoul(value));
+        else if (key == "rounds")
+            out.workload.rounds = unsigned(std::stoul(value));
+        else if (key == "wseed")
+            out.workload.seed = std::stoull(value);
+        else {
+            err = "unknown key '" + key + "'";
+            return false;
+        }
+    }
+    if (!sawHeader) {
+        err = "empty reproducer";
+        return false;
+    }
+    if (!sawEnd) {
+        err = "missing 'end' line";
+        return false;
+    }
+    if (out.nodes < 2 || out.workload.blocks == 0) {
+        err = "degenerate configuration";
+        return false;
+    }
+    return true;
+}
+
+} // namespace cenju::fault

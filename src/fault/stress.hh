@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Stress harness: randomized workloads under random fault plans,
+ * with seed replay and counterexample shrinking (docs/TESTING.md).
+ *
+ * A StressCase is everything one run needs — system size, workload
+ * parameters, and a FaultPlan — derived deterministically from a
+ * single uint64 seed via independent split() streams, so workload
+ * randomness and fault randomness can be varied or shrunk without
+ * perturbing each other. Runs attach the PR 1 invariant catalog in
+ * Collect mode behind a digesting hook, so
+ *
+ *  - any safety violation is recorded with its step and time,
+ *  - starvation shows up as programs unfinished at quiescence
+ *    (annotated by check::diagnoseStall), and
+ *  - the FNV-1a digest over every observed engine step certifies a
+ *    replay reproduced the exact interleaving bit-identically.
+ *
+ * A failing case is shrunk greedily — drop fault events ddmin-style,
+ * then halve workload scalars — and serialized to a text reproducer
+ * in the same spirit as the model checker's counterexample traces.
+ */
+
+#ifndef CENJU_FAULT_STRESS_HH
+#define CENJU_FAULT_STRESS_HH
+
+#include <string>
+#include <vector>
+
+#include "check/invariants.hh"
+#include "fault/fault_plan.hh"
+#include "protocol/proto_config.hh"
+#include "workload/stress_patterns.hh"
+
+namespace cenju::fault
+{
+
+/** One self-contained stress run, reproducible from its fields. */
+struct StressCase
+{
+    unsigned nodes = 16;
+    unsigned xbCapacity = 8;
+    ProtoBug bug = ProtoBug::None;
+    StressWorkload workload;
+    FaultPlan plan;
+};
+
+/** Knobs for deriving a case from a seed. */
+struct StressOptions
+{
+    unsigned nodes = 16;
+    ProtoBug bug = ProtoBug::None;
+    bool patternFixed = false; ///< use @ref pattern, don't draw one
+    StressPattern pattern = StressPattern::SharingHeavy;
+};
+
+/** Derive the full case for @p seed under @p opts. */
+StressCase makeStressCase(std::uint64_t seed,
+                          const StressOptions &opts);
+
+/** What one run observed. */
+struct StressResult
+{
+    bool completed = false;  ///< every node program finished
+    bool budgetHit = false;  ///< stopped by the event budget
+    std::vector<check::Violation> violations;
+    std::string stallDiagnosis; ///< set when !completed
+    std::uint64_t digest = 0;   ///< FNV-1a over observed steps
+    std::uint64_t steps = 0;    ///< engine steps observed
+    std::uint64_t events = 0;   ///< simulation events executed
+    unsigned faultWindows = 0;  ///< fault windows opened
+
+    bool
+    failed() const
+    {
+        return !completed || !violations.empty();
+    }
+};
+
+/** Default per-run event budget (runaway/livelock backstop). */
+constexpr std::uint64_t defaultEventBudget = 20000000;
+
+/** Build the system, run the case to completion or budget. */
+StressResult runStressCase(const StressCase &c,
+                           std::uint64_t eventBudget =
+                               defaultEventBudget);
+
+/** Shrinker progress counters. */
+struct ShrinkStats
+{
+    unsigned runs = 0;    ///< candidate executions
+    unsigned accepts = 0; ///< candidates that still failed
+};
+
+/**
+ * Greedily minimize @p failing (which must fail under @p budget):
+ * ddmin-lite over plan events, then workload scalars, iterated to a
+ * fixpoint or @p maxRuns candidate executions.
+ */
+StressCase shrinkCase(const StressCase &failing,
+                      std::uint64_t eventBudget, unsigned maxRuns,
+                      ShrinkStats *stats = nullptr);
+
+/** Text reproducer (replayed by tools/stress --replay-file). */
+std::string serializeCase(const StressCase &c);
+
+/**
+ * Parse a serializeCase reproducer.
+ * @retval false with @p err set on malformed input
+ */
+bool parseCase(const std::string &text, StressCase &out,
+               std::string &err);
+
+/** Parse a ProtoBug name as printed by protoBugName(). */
+bool protoBugFromName(const std::string &s, ProtoBug &out);
+
+} // namespace cenju::fault
+
+#endif // CENJU_FAULT_STRESS_HH

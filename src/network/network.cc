@@ -79,6 +79,27 @@ Network::decodedDest(const Packet &pkt) const
     return *pkt.decodedDestCache;
 }
 
+unsigned
+Network::effectiveInjectCapacity(NodeId n) const
+{
+    unsigned cap = _cfg.injectQueueCapacity;
+    if (_faultHook)
+        cap = _faultHook->injectQueueCapacity(n, cap);
+    return cap;
+}
+
+void
+Network::faultInjectRetry(NodeId n)
+{
+    Injector &inj = _injectors[n];
+    if (inj.wasFull &&
+        inj.q.size() < effectiveInjectCapacity(n)) {
+        inj.wasFull = false;
+        if (_endpoints[n])
+            _endpoints[n]->injectSpaceAvailable();
+    }
+}
+
 bool
 Network::tryInject(PacketPtr &&pkt)
 {
@@ -86,7 +107,7 @@ Network::tryInject(PacketPtr &&pkt)
     if (n >= _cfg.numNodes)
         panic("inject from bad node %u", n);
     Injector &inj = _injectors[n];
-    if (inj.q.size() >= _cfg.injectQueueCapacity) {
+    if (inj.q.size() >= effectiveInjectCapacity(n)) {
         inj.wasFull = true;
         return false;
     }
@@ -134,7 +155,7 @@ Network::pumpInjector(NodeId n)
                           pumpInjector(n);
                           if (i2.wasFull &&
                               i2.q.size() <
-                                  _cfg.injectQueueCapacity) {
+                                  effectiveInjectCapacity(n)) {
                               i2.wasFull = false;
                               if (_endpoints[n])
                                   _endpoints[n]
@@ -148,6 +169,11 @@ Network::ejectReserve(NodeId n, const Packet &pkt)
 {
     if (!_endpoints[n])
         panic("eject to unattached node %u", n);
+    // A delivery-hold fault window makes the endpoint ineligible:
+    // the final-stage output blocks in FIFO order (per-path order
+    // preserved) and the injector retries when the window closes.
+    if (_faultHook && _faultHook->deliveryHeld(n))
+        return false;
     return _endpoints[n]->reserveDelivery(pkt);
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "check/hooks.hh"
+#include "fault/hooks.hh"
 #include "network/net_config.hh"
 #include "network/packet.hh"
 #include "network/topology.hh"
@@ -91,6 +92,17 @@ class Network
     check::CheckHook *checkHook() const { return _checkHook; }
     void setCheckHook(check::CheckHook *hook) { _checkHook = hook; }
 
+    /** Fault-injection hook (may be null; docs/TESTING.md). */
+    fault::FaultHook *faultHook() const { return _faultHook; }
+    void setFaultHook(fault::FaultHook *hook) { _faultHook = hook; }
+
+    /**
+     * A fault window squeezing node @p n's injection queue closed:
+     * re-run the endpoint's space callback if it was refused while
+     * the squeeze was active.
+     */
+    void faultInjectRetry(NodeId n);
+
     /** Packets accepted for transmission so far. */
     std::uint64_t injectedCount() const { return _injected; }
 
@@ -145,7 +157,11 @@ class Network
     std::vector<std::pair<XbarSwitch *, unsigned>> _ejectWaiters;
     std::vector<NodeId> _ejectWaiterNodes;
 
+    /** Injection-queue capacity with any active fault squeeze. */
+    unsigned effectiveInjectCapacity(NodeId n) const;
+
     check::CheckHook *_checkHook = nullptr;
+    fault::FaultHook *_faultHook = nullptr;
 
     StatGroup _stats{"network"};
     Counter &_injectedCtr;

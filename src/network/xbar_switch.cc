@@ -67,8 +67,11 @@ XbarSwitch::reserve(unsigned in_port, const Packet &pkt)
     std::vector<unsigned> outs = targetPorts(pkt);
     if (outs.empty())
         panic("packet with no target ports at stage %u", _stage);
+    unsigned cap = _cfg.xbCapacity;
+    if (auto *h = _net.faultHook())
+        cap = h->xbCapacity(_stage, _row, cap);
     for (unsigned o : outs) {
-        if (_xb[in_port][o].used() >= _cfg.xbCapacity)
+        if (_xb[in_port][o].used() >= cap)
             return false;
     }
     for (unsigned o : outs)
@@ -160,6 +163,10 @@ XbarSwitch::arbitrate(unsigned out)
 {
     if (_busy[out] || _blockedEject[out])
         return;
+    if (auto *h = _net.faultHook();
+        h && h->switchOutputHeld(_stage, _row, out))
+        return; // stall window; faultKick() re-arbitrates
+
 
     for (unsigned k = 0; k < switchRadix; ++k) {
         unsigned in = (_rr[out] + k) % switchRadix;
@@ -230,6 +237,15 @@ XbarSwitch::unblockEject(unsigned out)
 {
     _blockedEject[out] = false;
     scheduleArbitrate(out);
+}
+
+void
+XbarSwitch::faultKick()
+{
+    for (unsigned in = 0; in < switchRadix; ++in)
+        inputSpaceFreed(in);
+    for (unsigned out = 0; out < switchRadix; ++out)
+        scheduleArbitrate(out);
 }
 
 } // namespace cenju

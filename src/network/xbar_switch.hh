@@ -84,6 +84,13 @@ class XbarSwitch
     /** Re-run arbitration for @p out_port (used on eject retry). */
     void unblockEject(unsigned out_port);
 
+    /**
+     * A fault window on this switch closed (capacity squeeze or
+     * output stall): wake every upstream blocked on our buffers and
+     * re-arbitrate every output.
+     */
+    void faultKick();
+
     /** Output ports a packet entering this switch must cover. */
     std::vector<unsigned> targetPorts(const Packet &pkt) const;
 

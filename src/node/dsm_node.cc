@@ -123,6 +123,8 @@ DsmNode::trySendFromHome(std::unique_ptr<CohPacket> &pkt)
 void
 DsmNode::pumpOutput()
 {
+    if (_outputHolds)
+        return; // fault hold window; re-pumped on release
     for (;;) {
         // Round-robin over the four sources.
         PacketPtr *slot = nullptr;

@@ -123,6 +123,23 @@ class DsmNode : public NetEndpoint
     check::CheckHook *checkHook() const { return _checkHook; }
     void setCheckHook(check::CheckHook *hook) { _checkHook = hook; }
 
+    // --- fault injection (src/fault, docs/TESTING.md) -------------
+
+    /**
+     * Hold the output pump: queued messages stay parked (order
+     * preserved) until every overlapping hold window releases.
+     */
+    void faultHoldOutput() { ++_outputHolds; }
+
+    void
+    faultReleaseOutput()
+    {
+        if (_outputHolds == 0)
+            panic("node %u: unbalanced output hold release", _id);
+        if (--_outputHolds == 0)
+            pumpOutput();
+    }
+
   private:
     /** Dispatch a protocol message to the right module. */
     void dispatch(std::unique_ptr<CohPacket> pkt);
@@ -160,6 +177,8 @@ class DsmNode : public NetEndpoint
     std::deque<PacketPtr> _userOut;
 
     check::CheckHook *_checkHook = nullptr;
+
+    unsigned _outputHolds = 0; ///< active fault hold windows
 
     std::uint64_t _sent = 0;
 };

@@ -31,6 +31,12 @@ HomeModule::enqueueInput(std::unique_ptr<CohPacket> pkt)
 void
 HomeModule::processNext()
 {
+    if (_dispatchHolds) {
+        // Fault hold window: input accumulates; the release pump
+        // restarts dispatch.
+        _busy = false;
+        return;
+    }
     if (_stalledOnOutput || _input.empty()) {
         _busy = false;
         return;
@@ -56,6 +62,30 @@ HomeModule::pendingAddrs() const
     for (const auto &[addr, op] : _pending)
         addrs.push_back(addr);
     return addrs;
+}
+
+void
+HomeModule::faultReleaseDispatch()
+{
+    if (_dispatchHolds == 0)
+        panic("home %u: unbalanced dispatch hold release",
+              _node.id());
+    if (--_dispatchHolds == 0 && !_busy && !_stalledOnOutput)
+        processNext();
+}
+
+void
+HomeModule::faultReleaseGather()
+{
+    if (_gatherHolds == 0)
+        panic("home %u: unbalanced gather hold release", _node.id());
+    if (--_gatherHolds > 0)
+        return;
+    if (!_gatherBusy && !_gatherWait.empty()) {
+        WaitingMulticast wm = _gatherWait.front();
+        _gatherWait.pop_front();
+        startInvalidation(wm.addr, 0);
+    }
 }
 
 void
@@ -319,7 +349,7 @@ HomeModule::startInvalidation(Addr addr, Tick t)
     // be outstanding per home (10-bit identifier = home id).
     op.wait = PendingOp::Wait::GatherAck;
     op.usesGatherUnit = true;
-    if (_gatherBusy) {
+    if (_gatherBusy || _gatherHolds) {
         ++gatherWaits;
         _gatherWait.push_back(WaitingMulticast{addr});
         return t;
@@ -443,7 +473,7 @@ HomeModule::handleInvAck(const CohPacket &pkt, Tick t)
 
     if (done.usesGatherUnit) {
         _gatherBusy = false;
-        if (!_gatherWait.empty()) {
+        if (!_gatherWait.empty() && !_gatherHolds) {
             WaitingMulticast wm = _gatherWait.front();
             _gatherWait.pop_front();
             // Relaunch the parked invalidation round now.

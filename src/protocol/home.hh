@@ -78,6 +78,24 @@ class HomeModule
     /** Invalidation rounds parked behind the busy gather unit. */
     std::size_t gatherBacklog() const { return _gatherWait.size(); }
 
+    // --- fault injection (src/fault, docs/TESTING.md) -------------
+
+    /**
+     * Hold the dispatch pipeline: arriving messages accumulate in
+     * the input buffer until every hold window releases (a burst of
+     * home-queue growth).
+     */
+    void faultHoldDispatch() { ++_dispatchHolds; }
+    void faultReleaseDispatch();
+
+    /**
+     * Hold the gather unit: new multicast invalidation rounds park
+     * in the gather-wait queue as if the unit were busy, modelling
+     * gather-table slot pressure.
+     */
+    void faultHoldGather() { ++_gatherHolds; }
+    void faultReleaseGather();
+
     // statistics
     Counter requestsProcessed;
     Counter requestsQueued;
@@ -153,6 +171,8 @@ class HomeModule
     bool _busy = false;
     bool _gatherBusy = false;
     bool _stalledOnOutput = false;
+    unsigned _dispatchHolds = 0; ///< active fault hold windows
+    unsigned _gatherHolds = 0;   ///< active gather-pressure windows
 };
 
 } // namespace cenju

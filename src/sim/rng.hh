@@ -33,6 +33,25 @@ class Rng
         }
     }
 
+    /**
+     * Derive an independent child stream labelled @p label without
+     * advancing this generator. Children with distinct labels (and
+     * children of distinct parents) are statistically independent,
+     * so a single run seed can fan out into separate streams — e.g.
+     * the stress harness keeps workload randomness and fault-plan
+     * randomness independent, letting either be varied or shrunk
+     * without perturbing the other.
+     */
+    Rng
+    split(std::uint64_t label) const
+    {
+        std::uint64_t x = s[0] ^ rotl(s[1], 17) ^ rotl(s[2], 31) ^
+                          rotl(s[3], 47);
+        // Weyl-style label mix so labels 0,1,2,... land far apart.
+        x ^= (label + 1) * 0xd1342543de82ef95ull;
+        return Rng(x);
+    }
+
     /** Next raw 64-bit value. */
     std::uint64_t
     next()

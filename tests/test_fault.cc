@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Fault-injection stress harness self-tests: plan and reproducer
+ * serialization round-trips, bit-identical seed replay, soundness
+ * (a correct protocol survives any plan), and the mutation check
+ * that the harness catches both injected protocol bugs and shrinks
+ * them to replayable minimal reproducers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.hh"
+#include "fault/stress.hh"
+#include "sim/rng.hh"
+
+namespace cenju::fault
+{
+namespace
+{
+
+TEST(RngSplit, StreamsAreIndependentAndStable)
+{
+    Rng root(42);
+    Rng a = root.split(1);
+    Rng b = root.split(2);
+    Rng a2 = root.split(1);
+    std::uint64_t va = a.next();
+    EXPECT_NE(va, b.next());       // distinct labels diverge
+    EXPECT_EQ(va, a2.next());      // same label reproduces
+    EXPECT_EQ(root.split(1).next(),
+              Rng(42).split(1).next()); // split does not advance
+}
+
+TEST(FaultPlan, KindNamesRoundTrip)
+{
+    for (unsigned i = 0; i < numFaultKinds; ++i) {
+        auto k = static_cast<FaultKind>(i);
+        FaultKind back;
+        ASSERT_TRUE(faultKindFromName(faultKindName(k), back))
+            << faultKindName(k);
+        EXPECT_EQ(back, k);
+    }
+    FaultKind dummy;
+    EXPECT_FALSE(faultKindFromName("frobnicate", dummy));
+}
+
+TEST(FaultPlan, EventSerializationRoundTrips)
+{
+    Rng rng(7);
+    PlanShape shape;
+    FaultPlan plan = randomPlan(rng, shape);
+    ASSERT_GE(plan.events.size(), shape.minEvents);
+    ASSERT_LE(plan.events.size(), shape.maxEvents);
+    for (const FaultEvent &e : plan.events) {
+        FaultEvent back;
+        std::string err;
+        ASSERT_TRUE(
+            parseFaultEvent(serializeFaultEvent(e), back, err))
+            << err;
+        EXPECT_EQ(back.kind, e.kind);
+        EXPECT_EQ(back.start, e.start);
+        EXPECT_EQ(back.duration, e.duration);
+        EXPECT_EQ(back.node, e.node);
+        EXPECT_EQ(back.stage, e.stage);
+        EXPECT_EQ(back.row, e.row);
+        EXPECT_EQ(back.port, e.port);
+        EXPECT_EQ(back.amount, e.amount);
+    }
+}
+
+TEST(StressCaseIo, ReproducerRoundTrips)
+{
+    for (std::uint64_t seed : {1ull, 9ull, 123ull}) {
+        StressCase c = makeStressCase(seed, StressOptions{});
+        StressCase back;
+        std::string err;
+        ASSERT_TRUE(parseCase(serializeCase(c), back, err)) << err;
+        EXPECT_EQ(back.nodes, c.nodes);
+        EXPECT_EQ(back.xbCapacity, c.xbCapacity);
+        EXPECT_EQ(back.bug, c.bug);
+        EXPECT_EQ(back.workload.pattern, c.workload.pattern);
+        EXPECT_EQ(back.workload.blocks, c.workload.blocks);
+        EXPECT_EQ(back.workload.opsPerNode, c.workload.opsPerNode);
+        EXPECT_EQ(back.workload.rounds, c.workload.rounds);
+        EXPECT_EQ(back.workload.seed, c.workload.seed);
+        ASSERT_EQ(back.plan.events.size(), c.plan.events.size());
+        // Re-serializing must reproduce the identical text.
+        EXPECT_EQ(serializeCase(back), serializeCase(c));
+    }
+    StressCase out;
+    std::string err;
+    EXPECT_FALSE(parseCase("not a reproducer\n", out, err));
+    EXPECT_FALSE(parseCase("stresscase v1\nnodes 4\n", out, err))
+        << "missing end line must be rejected";
+}
+
+TEST(StressRun, ReplayIsBitIdentical)
+{
+    StressCase c = makeStressCase(3, StressOptions{});
+    StressResult a = runStressCase(c);
+    StressResult b = runStressCase(c);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.completed, b.completed);
+}
+
+TEST(StressRun, FaultWindowsPerturbTheInterleaving)
+{
+    // The same workload with and without its fault plan must
+    // observe different step interleavings for at least one of a
+    // handful of seeds (faults are real, not no-ops).
+    bool differed = false;
+    for (std::uint64_t seed = 1; seed <= 5 && !differed; ++seed) {
+        StressCase c = makeStressCase(seed, StressOptions{});
+        StressCase bare = c;
+        bare.plan.events.clear();
+        differed = runStressCase(c).digest !=
+                   runStressCase(bare).digest;
+    }
+    EXPECT_TRUE(differed);
+}
+
+TEST(StressRun, CorrectProtocolSurvivesFaults)
+{
+    // Soundness: every perturbation is legal, so the unmodified
+    // protocol must complete every workload with zero violations.
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        StressCase c = makeStressCase(seed, StressOptions{});
+        StressResult r = runStressCase(c);
+        EXPECT_TRUE(r.completed) << "seed " << seed << ":\n"
+                                 << r.stallDiagnosis;
+        EXPECT_TRUE(r.violations.empty())
+            << "seed " << seed << ": "
+            << r.violations.front().invariant << ": "
+            << r.violations.front().detail;
+    }
+}
+
+/** Sweep seeds until @p bug is caught; shrink and revalidate. */
+void
+expectCaughtAndShrinkable(ProtoBug bug)
+{
+    StressOptions opts;
+    opts.bug = bug;
+    constexpr std::uint64_t seedBudget = 20;
+    for (std::uint64_t seed = 1; seed <= seedBudget; ++seed) {
+        StressCase c = makeStressCase(seed, opts);
+        StressResult r = runStressCase(c);
+        if (!r.failed())
+            continue;
+
+        ShrinkStats st;
+        StressCase minimal =
+            shrinkCase(c, defaultEventBudget, 200, &st);
+        EXPECT_GT(st.runs, 0u);
+        EXPECT_LE(minimal.nodes, c.nodes);
+        EXPECT_LE(minimal.plan.events.size(),
+                  c.plan.events.size());
+        StressResult mr = runStressCase(minimal);
+        EXPECT_TRUE(mr.failed())
+            << "shrunk case no longer fails";
+
+        // The serialized reproducer replays to the same failure.
+        StressCase replayed;
+        std::string err;
+        ASSERT_TRUE(
+            parseCase(serializeCase(minimal), replayed, err))
+            << err;
+        StressResult rr = runStressCase(replayed);
+        EXPECT_TRUE(rr.failed());
+        EXPECT_EQ(rr.digest, mr.digest);
+        return;
+    }
+    FAIL() << protoBugName(bug) << " not caught within "
+           << seedBudget << " seeds";
+}
+
+TEST(StressRun, CatchesSkipReservationMutation)
+{
+    expectCaughtAndShrinkable(ProtoBug::SkipReservation);
+}
+
+TEST(StressRun, CatchesDropSharerMutation)
+{
+    expectCaughtAndShrinkable(ProtoBug::DropSharer);
+}
+
+TEST(StressRun, PlansClampToSmallerSystems)
+{
+    // A plan generated at 16 nodes must stay valid when the node
+    // count shrinks underneath it (the shrinker relies on this).
+    StressCase c = makeStressCase(11, StressOptions{});
+    c.nodes = 2;
+    StressResult r = runStressCase(c);
+    EXPECT_TRUE(r.completed) << r.stallDiagnosis;
+    EXPECT_TRUE(r.violations.empty());
+}
+
+} // namespace
+} // namespace cenju::fault

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Fault-injection stress CLI (docs/TESTING.md).
+ *
+ * Runs randomized multi-node workloads under random-but-legal fault
+ * plans with the invariant catalog attached, prints the failing seed
+ * on any violation or starvation, replays any seed bit-identically,
+ * and shrinks a failing case to a minimal text reproducer:
+ *
+ *   stress --seeds 200                        # sweep, expect clean
+ *   stress --seed 7341                        # one seed, verbose
+ *   stress --replay 7341                      # prove determinism
+ *   stress --bug skip-reservation --seeds 60 \
+ *          --expect-caught --out repro.case   # mutation check
+ *   stress --replay-file repro.case           # rerun a reproducer
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/stress.hh"
+
+using namespace cenju;
+using namespace cenju::fault;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --seeds N        seeds to sweep (default 50)\n"
+        "  --seed-base S    first seed of the sweep (default 1)\n"
+        "  --seed S         run exactly one seed, verbose\n"
+        "  --nodes N        system size (default 16)\n"
+        "  --pattern P      sharing-heavy | migratory |\n"
+        "                   producer-consumer | barrier-churn\n"
+        "                   (default: drawn per seed)\n"
+        "  --bug B          none | skip-reservation | drop-sharer\n"
+        "  --budget N       per-run event budget (default %llu)\n"
+        "  --replay S       run seed S twice, compare digests\n"
+        "  --replay-file F  rerun a serialized reproducer\n"
+        "  --no-shrink      skip minimization of a failing case\n"
+        "  --expect-caught  exit 0 iff the sweep found a failure\n"
+        "  --out FILE       write the minimal reproducer to FILE\n",
+        argv0, (unsigned long long)defaultEventBudget);
+    return 2;
+}
+
+void
+printResult(std::uint64_t seed, const StressCase &c,
+            const StressResult &r)
+{
+    std::printf("seed %llu: pattern=%s nodes=%u xbcap=%u blocks=%u "
+                "ops=%u rounds=%u faults=%zu | %s, %llu steps, "
+                "%llu events, %u windows, digest=%016llx\n",
+                (unsigned long long)seed,
+                stressPatternName(c.workload.pattern), c.nodes,
+                c.xbCapacity, c.workload.blocks,
+                c.workload.opsPerNode, c.workload.rounds,
+                c.plan.events.size(),
+                r.completed ? "completed"
+                            : (r.budgetHit ? "BUDGET" : "STARVED"),
+                (unsigned long long)r.steps,
+                (unsigned long long)r.events, r.faultWindows,
+                (unsigned long long)r.digest);
+    for (const check::Violation &v : r.violations) {
+        std::printf("  violated [%s] @%llu: %s\n",
+                    v.invariant.c_str(),
+                    (unsigned long long)v.when, v.detail.c_str());
+    }
+    if (!r.stallDiagnosis.empty())
+        std::printf("stall diagnosis:\n%s",
+                    r.stallDiagnosis.c_str());
+}
+
+struct Options
+{
+    std::uint64_t seeds = 50;
+    std::uint64_t seedBase = 1;
+    std::uint64_t budget = defaultEventBudget;
+    bool singleSeed = false;
+    std::uint64_t seed = 0;
+    bool replay = false;
+    std::string replayFile;
+    bool shrink = true;
+    bool expectCaught = false;
+    std::string outFile;
+    StressOptions gen;
+};
+
+/** Shrink, report, and optionally save a failing case. */
+void
+handleFailure(std::uint64_t seed, const StressCase &c,
+              const Options &opt)
+{
+    StressCase minimal = c;
+    if (opt.shrink) {
+        ShrinkStats st;
+        minimal = shrinkCase(c, opt.budget, 400, &st);
+        std::printf("shrunk with %u runs (%u accepted): %u nodes, "
+                    "%zu fault events, %u ops x %u rounds\n",
+                    st.runs, st.accepts, minimal.nodes,
+                    minimal.plan.events.size(),
+                    minimal.workload.opsPerNode,
+                    minimal.workload.rounds);
+        StressResult mr = runStressCase(minimal, opt.budget);
+        std::printf("minimal reproducer (replay with "
+                    "--replay-file):\n%s",
+                    serializeCase(minimal).c_str());
+        printResult(seed, minimal, mr);
+    } else {
+        std::printf("reproducer (replay with --replay-file):\n%s",
+                    serializeCase(minimal).c_str());
+    }
+    if (!opt.outFile.empty()) {
+        std::ofstream out(opt.outFile);
+        out << serializeCase(minimal);
+        std::printf("reproducer written to %s\n",
+                    opt.outFile.c_str());
+    }
+}
+
+int
+replaySeed(const Options &opt)
+{
+    StressCase c = makeStressCase(opt.seed, opt.gen);
+    StressResult a = runStressCase(c, opt.budget);
+    StressResult b = runStressCase(c, opt.budget);
+    printResult(opt.seed, c, a);
+    if (a.digest != b.digest || a.steps != b.steps ||
+        a.events != b.events) {
+        std::printf("REPLAY DIVERGED: %016llx/%llu/%llu vs "
+                    "%016llx/%llu/%llu\n",
+                    (unsigned long long)a.digest,
+                    (unsigned long long)a.steps,
+                    (unsigned long long)a.events,
+                    (unsigned long long)b.digest,
+                    (unsigned long long)b.steps,
+                    (unsigned long long)b.events);
+        return 1;
+    }
+    std::printf("replay bit-identical (digest %016llx over %llu "
+                "steps)\n",
+                (unsigned long long)a.digest,
+                (unsigned long long)a.steps);
+    return 0;
+}
+
+int
+replayFromFile(const Options &opt)
+{
+    std::ifstream in(opt.replayFile);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     opt.replayFile.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    StressCase c;
+    std::string err;
+    if (!parseCase(text.str(), c, err)) {
+        std::fprintf(stderr, "%s: %s\n", opt.replayFile.c_str(),
+                     err.c_str());
+        return 2;
+    }
+    StressResult r = runStressCase(c, opt.budget);
+    printResult(0, c, r);
+    return r.failed() ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--seeds") {
+            opt.seeds = std::stoull(next());
+        } else if (a == "--seed-base") {
+            opt.seedBase = std::stoull(next());
+        } else if (a == "--seed") {
+            opt.singleSeed = true;
+            opt.seed = std::stoull(next());
+        } else if (a == "--nodes") {
+            opt.gen.nodes = unsigned(std::stoul(next()));
+        } else if (a == "--pattern") {
+            opt.gen.patternFixed = true;
+            if (!stressPatternFromName(next(), opt.gen.pattern))
+                return usage(argv[0]);
+        } else if (a == "--bug") {
+            if (!protoBugFromName(next(), opt.gen.bug))
+                return usage(argv[0]);
+        } else if (a == "--budget") {
+            opt.budget = std::stoull(next());
+        } else if (a == "--replay") {
+            opt.replay = true;
+            opt.singleSeed = true;
+            opt.seed = std::stoull(next());
+        } else if (a == "--replay-file") {
+            opt.replayFile = next();
+        } else if (a == "--no-shrink") {
+            opt.shrink = false;
+        } else if (a == "--expect-caught") {
+            opt.expectCaught = true;
+        } else if (a == "--out") {
+            opt.outFile = next();
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (opt.gen.nodes < 2) {
+        std::fprintf(stderr, "--nodes must be >= 2\n");
+        return 2;
+    }
+
+    if (!opt.replayFile.empty())
+        return replayFromFile(opt);
+    if (opt.replay)
+        return replaySeed(opt);
+
+    if (opt.singleSeed) {
+        StressCase c = makeStressCase(opt.seed, opt.gen);
+        StressResult r = runStressCase(c, opt.budget);
+        printResult(opt.seed, c, r);
+        if (r.failed())
+            handleFailure(opt.seed, c, opt);
+        if (opt.expectCaught)
+            return r.failed() ? 0 : 1;
+        return r.failed() ? 1 : 0;
+    }
+
+    std::printf("sweeping %llu seeds from %llu: nodes=%u bug=%s\n",
+                (unsigned long long)opt.seeds,
+                (unsigned long long)opt.seedBase, opt.gen.nodes,
+                protoBugName(opt.gen.bug));
+    std::uint64_t clean = 0;
+    for (std::uint64_t i = 0; i < opt.seeds; ++i) {
+        std::uint64_t seed = opt.seedBase + i;
+        StressCase c = makeStressCase(seed, opt.gen);
+        StressResult r = runStressCase(c, opt.budget);
+        if (!r.failed()) {
+            ++clean;
+            continue;
+        }
+        std::printf("FAILING SEED %llu (replay with --replay "
+                    "%llu)\n",
+                    (unsigned long long)seed,
+                    (unsigned long long)seed);
+        printResult(seed, c, r);
+        handleFailure(seed, c, opt);
+        if (opt.expectCaught) {
+            std::printf("failure found after %llu seeds\n",
+                        (unsigned long long)(i + 1));
+            return 0;
+        }
+        return 1;
+    }
+    std::printf("%llu/%llu seeds clean\n",
+                (unsigned long long)clean,
+                (unsigned long long)opt.seeds);
+    if (opt.expectCaught) {
+        std::fprintf(stderr,
+                     "expected a failure but the sweep was clean\n");
+        return 1;
+    }
+    return 0;
+}
