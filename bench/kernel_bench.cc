@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Simulation-kernel microbenchmarks: raw event-scheduling
+ * throughput, network packet forwarding, multicast destination
+ * decode, and coherence-packet allocation churn.
+ *
+ * This is the tracked perf surface of the simulator (docs/PERF.md):
+ * the numbers land in BENCH_kernel.json and CI's perf-smoke job
+ * fails when a metric regresses more than --max-regress against the
+ * committed baseline. Usage:
+ *
+ *   kernel_bench                         # full run, table to stdout
+ *   kernel_bench --quick                 # CI-sized work items
+ *   kernel_bench --out BENCH_kernel.json # also write the JSON
+ *   kernel_bench --baseline BENCH_kernel.json --max-regress 0.20
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "directory/bit_pattern.hh"
+#include "network/network.hh"
+#include "protocol/coh_msg.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace cenju
+{
+namespace
+{
+
+using clk = std::chrono::steady_clock;
+
+struct Result
+{
+    std::string name;
+    std::string metric;
+    double value = 0; ///< higher is better (ops per second)
+    std::uint64_t ops = 0;
+    double seconds = 0;
+};
+
+double
+secondsSince(clk::time_point t0)
+{
+    return std::chrono::duration<double>(clk::now() - t0).count();
+}
+
+/**
+ * Scheduling throughput with a shallow queue: a ring of
+ * self-rescheduling events whose closures carry a typical
+ * simulator-sized capture (a this-pointer plus a few words). The
+ * old kernel paid one heap allocation per schedule for captures
+ * past std::function's tiny inline buffer.
+ */
+Result
+benchSchedRing(std::uint64_t total)
+{
+    EventQueue eq;
+    std::uint64_t remaining = total;
+    std::uint64_t acc = 0;
+    constexpr unsigned ring = 16;
+
+    // Self-rescheduling closure; captures ~40 bytes.
+    struct Step
+    {
+        EventQueue *eq;
+        std::uint64_t *remaining;
+        std::uint64_t *acc;
+        std::uint64_t salt;
+        unsigned lane;
+
+        void
+        operator()() const
+        {
+            *acc += salt + lane;
+            if (*remaining == 0)
+                return;
+            --*remaining;
+            Step next = *this;
+            next.salt = *acc;
+            eq->scheduleAfter(1 + (lane & 3), next);
+        }
+    };
+
+    auto t0 = clk::now();
+    for (unsigned l = 0; l < ring; ++l)
+        eq.schedule(0, Step{&eq, &remaining, &acc, l, l});
+    eq.run();
+    double s = secondsSince(t0);
+
+    if (acc == 0)
+        std::fprintf(stderr, "impossible\n"); // keep acc observable
+    std::uint64_t ran = eq.executed();
+    return {"sched_ring", "events_per_sec", double(ran) / s, ran,
+            s};
+}
+
+/** Scheduling throughput against a deep pending-event heap. */
+Result
+benchSchedDeep(std::uint64_t total)
+{
+    EventQueue eq;
+    std::uint64_t remaining = total;
+    std::uint64_t acc = 0;
+    constexpr unsigned depth = 1u << 15;
+
+    struct Step
+    {
+        EventQueue *eq;
+        std::uint64_t *remaining;
+        std::uint64_t *acc;
+        std::uint64_t salt;
+
+        void
+        operator()() const
+        {
+            *acc += salt;
+            if (*remaining == 0)
+                return;
+            --*remaining;
+            // Spread re-insertions over a wide window so heap
+            // operations exercise full-depth sift paths.
+            eq->scheduleAfter(1 + (*acc % 4096), *this);
+        }
+    };
+
+    auto t0 = clk::now();
+    for (unsigned i = 0; i < depth; ++i)
+        eq.schedule(i % 97, Step{&eq, &remaining, &acc, i});
+    eq.run();
+    double s = secondsSince(t0);
+    std::uint64_t ran = eq.executed();
+    return {"sched_deep", "events_per_sec", double(ran) / s, ran,
+            s};
+}
+
+/** Endpoint that counts deliveries and immediately re-injects. */
+class EchoEndpoint : public NetEndpoint
+{
+  public:
+    EchoEndpoint(Network &net, NodeId id, std::uint64_t *budget)
+        : _net(net), _id(id), _budget(budget)
+    {
+        net.attach(id, this);
+    }
+
+    bool reserveDelivery(const Packet &) override { return true; }
+
+    void
+    deliver(PacketPtr pkt) override
+    {
+        if (*_budget == 0)
+            return;
+        --*_budget;
+        // Bounce to the next node so traffic keeps crossing the
+        // network with a new route every hop.
+        NodeId dst = (pkt->dest.unicastDest() + 1) %
+                     _net.numNodes();
+        pkt->src = _id;
+        pkt->dest = DestSpec::unicast(dst);
+        pkt->gathered = false;
+        (void)_net.tryInject(std::move(pkt));
+    }
+
+  private:
+    Network &_net;
+    NodeId _id;
+    std::uint64_t *_budget;
+};
+
+/** Minimal cloneable packet for the forwarding bench. */
+struct BenchPacket : Packet
+{
+    std::unique_ptr<Packet>
+    clone() const override
+    {
+        return std::make_unique<BenchPacket>(*this);
+    }
+};
+
+/**
+ * Packet forwarding throughput: 64 nodes, every node bouncing a
+ * unicast around the ring through the full switch fabric. Measures
+ * packets delivered per second end to end (injection queues,
+ * crosspoint buffers, per-hop callbacks).
+ */
+Result
+benchPackets(std::uint64_t total)
+{
+    EventQueue eq;
+    NetConfig cfg;
+    cfg.numNodes = 64;
+    Network net(eq, cfg);
+    std::uint64_t budget = total;
+    std::vector<std::unique_ptr<EchoEndpoint>> eps;
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        eps.push_back(
+            std::make_unique<EchoEndpoint>(net, n, &budget));
+    }
+
+    auto t0 = clk::now();
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        auto p = std::make_unique<BenchPacket>();
+        p->src = n;
+        p->dest = DestSpec::unicast((n + 17) % cfg.numNodes);
+        (void)net.tryInject(std::move(p));
+    }
+    eq.run();
+    double s = secondsSince(t0);
+    std::uint64_t delivered = net.deliveredCount();
+    return {"packets", "packets_per_sec", double(delivered) / s,
+            delivered, s};
+}
+
+/**
+ * Multicast destination decode throughput: bit-pattern DestSpecs
+ * over a 1024-node address space, the operation every switch on a
+ * multicast tree needs (once per message with the cache).
+ */
+Result
+benchMulticastDecode(std::uint64_t total)
+{
+    constexpr unsigned nodes = 1024;
+    Rng rng(12345);
+    // A spread of sharer-set shapes, built once.
+    std::vector<DestSpec> specs;
+    for (unsigned k : {2u, 5u, 16u, 64u, 256u, 1024u}) {
+        BitPattern p;
+        for (unsigned i = 0; i < k; ++i)
+            p.add(NodeId(rng.below(nodes)));
+        specs.push_back(DestSpec::pattern(p));
+    }
+
+    std::uint64_t members = 0;
+    auto t0 = clk::now();
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const DestSpec &d = specs[i % specs.size()];
+        members += d.decode(nodes).count();
+    }
+    double s = secondsSince(t0);
+    if (members == 0)
+        std::fprintf(stderr, "impossible\n");
+    return {"multicast_decode", "decodes_per_sec",
+            double(total) / s, total, s};
+}
+
+/**
+ * Coherence-packet allocation churn: the allocate/free pattern of
+ * the forwarding and clone paths, batched the way multicast
+ * replication batches it.
+ */
+Result
+benchPacketAlloc(std::uint64_t total)
+{
+    std::vector<std::unique_ptr<CohPacket>> live;
+    live.reserve(64);
+    std::uint64_t made = 0;
+    auto t0 = clk::now();
+    while (made < total) {
+        for (unsigned i = 0; i < 64; ++i, ++made) {
+            auto p = std::make_unique<CohPacket>();
+            p->type = CohMsgType::Invalidate;
+            p->addr = made * blockBytes;
+            live.push_back(std::move(p));
+        }
+        live.clear();
+    }
+    double s = secondsSince(t0);
+    return {"packet_alloc", "packets_per_sec", double(made) / s,
+            made, s};
+}
+
+// --- JSON output and baseline comparison --------------------------
+
+void
+writeJson(const std::string &path, const std::vector<Result> &rs,
+          bool quick)
+{
+    std::ofstream out(path);
+    out << "{\n  \"schema\": \"cenju-kernel-bench-1\",\n"
+        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"name\": \"%s\", \"metric\": \"%s\", "
+                      "\"value\": %.6g, \"ops\": %llu, "
+                      "\"seconds\": %.4f}%s\n",
+                      rs[i].name.c_str(), rs[i].metric.c_str(),
+                      rs[i].value,
+                      (unsigned long long)rs[i].ops,
+                      rs[i].seconds,
+                      i + 1 < rs.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+}
+
+/**
+ * Pull {"name": ..., "value": ...} pairs out of a baseline JSON.
+ * Tolerant scanner for exactly the format writeJson emits (and for
+ * hand-edited baselines that keep those two keys on one line).
+ */
+std::vector<std::pair<std::string, double>>
+readBaseline(const std::string &path)
+{
+    std::vector<std::pair<std::string, double>> out;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        auto npos = line.find("\"name\"");
+        auto vpos = line.find("\"value\"");
+        if (npos == std::string::npos ||
+            vpos == std::string::npos)
+            continue;
+        auto q0 = line.find('"', npos + 6 + 1);
+        if (q0 == std::string::npos)
+            continue;
+        q0 = line.find('"', line.find(':', npos));
+        auto q1 = line.find('"', q0 + 1);
+        if (q0 == std::string::npos || q1 == std::string::npos)
+            continue;
+        std::string name = line.substr(q0 + 1, q1 - q0 - 1);
+        double value =
+            std::strtod(line.c_str() + line.find(':', vpos) + 1,
+                        nullptr);
+        out.emplace_back(name, value);
+    }
+    return out;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --quick           CI-sized work items\n"
+        "  --out FILE        write results as JSON\n"
+        "  --baseline FILE   compare against a committed JSON\n"
+        "  --max-regress R   allowed fractional drop (default "
+        "0.20)\n"
+        "  --filter NAME     run only the named bench\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+} // namespace cenju
+
+int
+main(int argc, char **argv)
+{
+    using namespace cenju;
+
+    bool quick = false;
+    std::string outFile, baselineFile, filter;
+    double maxRegress = 0.20;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--quick")
+            quick = true;
+        else if (a == "--out")
+            outFile = next();
+        else if (a == "--baseline")
+            baselineFile = next();
+        else if (a == "--max-regress")
+            maxRegress = std::strtod(next(), nullptr);
+        else if (a == "--filter")
+            filter = next();
+        else
+            return usage(argv[0]);
+    }
+
+    const std::uint64_t scale = quick ? 1 : 8;
+    struct Bench
+    {
+        const char *name;
+        Result (*fn)(std::uint64_t);
+        std::uint64_t work;
+    };
+    const Bench benches[] = {
+        {"sched_ring", benchSchedRing, 1000000 * scale},
+        {"sched_deep", benchSchedDeep, 500000 * scale},
+        {"packets", benchPackets, 100000 * scale},
+        {"multicast_decode", benchMulticastDecode,
+         500000 * scale},
+        {"packet_alloc", benchPacketAlloc, 1000000 * scale},
+    };
+
+    std::vector<Result> results;
+    std::printf("%-18s %16s %14s %10s\n", "bench", "metric",
+                "ops/sec", "seconds");
+    for (const Bench &b : benches) {
+        if (!filter.empty() && filter != b.name)
+            continue;
+        Result r = b.fn(b.work);
+        std::printf("%-18s %16s %14.0f %10.3f\n", r.name.c_str(),
+                    r.metric.c_str(), r.value, r.seconds);
+        results.push_back(std::move(r));
+    }
+
+    if (!outFile.empty())
+        writeJson(outFile, results, quick);
+
+    if (!baselineFile.empty()) {
+        auto base = readBaseline(baselineFile);
+        if (base.empty()) {
+            std::fprintf(stderr,
+                         "no baseline entries in %s\n",
+                         baselineFile.c_str());
+            return 2;
+        }
+        bool bad = false;
+        for (const auto &[name, value] : base) {
+            for (const Result &r : results) {
+                if (r.name != name)
+                    continue;
+                double floor = value * (1.0 - maxRegress);
+                if (r.value < floor) {
+                    std::printf(
+                        "REGRESSION %s: %.0f < %.0f (baseline "
+                        "%.0f - %.0f%%)\n",
+                        name.c_str(), r.value, floor, value,
+                        maxRegress * 100);
+                    bad = true;
+                } else {
+                    std::printf("ok %s: %.2fx of baseline\n",
+                                name.c_str(), r.value / value);
+                }
+            }
+        }
+        if (bad)
+            return 1;
+    }
+    return 0;
+}

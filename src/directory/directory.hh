@@ -17,6 +17,7 @@
 
 #include "directory/entry.hh"
 #include "directory/node_map.hh"
+#include "sim/hashing.hh"
 
 namespace cenju
 {
@@ -31,7 +32,11 @@ class Directory
      */
     Directory(NodeMapKind kind, unsigned num_nodes)
         : _kind(kind), _numNodes(num_nodes)
-    {}
+    {
+        // Modest: per-node object, so eager buckets cost RAM and
+        // construction time at 1024 nodes. Grows on demand.
+        _entries.reserve(64);
+    }
 
     /** Entry for local block number @p block, created on demand. */
     DirectoryEntry &
@@ -75,7 +80,8 @@ class Directory
   private:
     NodeMapKind _kind;
     unsigned _numNodes;
-    std::unordered_map<std::uint64_t, DirectoryEntry> _entries;
+    std::unordered_map<std::uint64_t, DirectoryEntry, U64MixHash>
+        _entries;
 };
 
 } // namespace cenju

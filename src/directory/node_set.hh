@@ -7,11 +7,19 @@
  * multicast, and as reachability sets inside network switches. The
  * capacity is fixed at construction (up to 4096 to cover padded
  * 6-stage networks).
+ *
+ * Sets with capacity <= maxNodes (the common case: sharer sets,
+ * multicast destinations, gather groups) store their bits inline and
+ * never allocate; only oversized sets — switch reachability tables
+ * for padded networks, built once at construction — fall back to the
+ * heap. All loops are bounded by the word count for the actual
+ * capacity, so small systems pay for small sets.
  */
 
 #ifndef CENJU_DIRECTORY_NODE_SET_HH
 #define CENJU_DIRECTORY_NODE_SET_HH
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <vector>
@@ -28,8 +36,39 @@ class NodeSet
   public:
     /** Empty set able to hold ids in [0, capacity). */
     explicit NodeSet(unsigned capacity = maxNodes)
-        : _capacity(capacity), _words((capacity + 63) / 64, 0)
-    {}
+        : _capacity(capacity), _nwords((capacity + 63) / 64)
+    {
+        if (_nwords > inlineWords) {
+            _big.assign(_nwords, 0);
+        } else {
+            // Only words < _nwords are ever read; don't zero more.
+            for (unsigned i = 0; i < _nwords; ++i)
+                _inline[i] = 0;
+        }
+    }
+
+    NodeSet(const NodeSet &) = default;
+    NodeSet &operator=(const NodeSet &) = default;
+
+    NodeSet(NodeSet &&o) noexcept
+        : _capacity(o._capacity), _nwords(o._nwords),
+          _inline(o._inline), _big(std::move(o._big))
+    {
+        o.resetToEmpty();
+    }
+
+    NodeSet &
+    operator=(NodeSet &&o) noexcept
+    {
+        if (this != &o) {
+            _capacity = o._capacity;
+            _nwords = o._nwords;
+            _inline = o._inline;
+            _big = std::move(o._big);
+            o.resetToEmpty();
+        }
+        return *this;
+    }
 
     unsigned capacity() const { return _capacity; }
 
@@ -37,14 +76,14 @@ class NodeSet
     insert(NodeId n)
     {
         check(n);
-        _words[n >> 6] |= 1ull << (n & 63);
+        words()[n >> 6] |= 1ull << (n & 63);
     }
 
     void
     erase(NodeId n)
     {
         check(n);
-        _words[n >> 6] &= ~(1ull << (n & 63));
+        words()[n >> 6] &= ~(1ull << (n & 63));
     }
 
     bool
@@ -52,21 +91,23 @@ class NodeSet
     {
         if (n >= _capacity)
             return false;
-        return (_words[n >> 6] >> (n & 63)) & 1;
+        return (words()[n >> 6] >> (n & 63)) & 1;
     }
 
     void
     clear()
     {
-        for (auto &w : _words)
-            w = 0;
+        std::uint64_t *w = words();
+        for (unsigned i = 0; i < _nwords; ++i)
+            w[i] = 0;
     }
 
     bool
     empty() const
     {
-        for (auto w : _words) {
-            if (w)
+        const std::uint64_t *w = words();
+        for (unsigned i = 0; i < _nwords; ++i) {
+            if (w[i])
                 return false;
         }
         return true;
@@ -76,9 +117,10 @@ class NodeSet
     unsigned
     count() const
     {
+        const std::uint64_t *w = words();
         unsigned c = 0;
-        for (auto w : _words)
-            c += static_cast<unsigned>(std::popcount(w));
+        for (unsigned i = 0; i < _nwords; ++i)
+            c += static_cast<unsigned>(std::popcount(w[i]));
         return c;
     }
 
@@ -86,9 +128,11 @@ class NodeSet
     bool
     intersects(const NodeSet &o) const
     {
-        std::size_t n = std::min(_words.size(), o._words.size());
-        for (std::size_t i = 0; i < n; ++i) {
-            if (_words[i] & o._words[i])
+        const std::uint64_t *a = words();
+        const std::uint64_t *b = o.words();
+        unsigned n = std::min(_nwords, o._nwords);
+        for (unsigned i = 0; i < n; ++i) {
+            if (a[i] & b[i])
                 return true;
         }
         return false;
@@ -98,10 +142,11 @@ class NodeSet
     bool
     subsetOf(const NodeSet &o) const
     {
-        for (std::size_t i = 0; i < _words.size(); ++i) {
-            std::uint64_t ow =
-                i < o._words.size() ? o._words[i] : 0;
-            if (_words[i] & ~ow)
+        const std::uint64_t *a = words();
+        const std::uint64_t *b = o.words();
+        for (unsigned i = 0; i < _nwords; ++i) {
+            std::uint64_t ow = i < o._nwords ? b[i] : 0;
+            if (a[i] & ~ow)
                 return false;
         }
         return true;
@@ -110,28 +155,34 @@ class NodeSet
     NodeSet &
     operator|=(const NodeSet &o)
     {
-        std::size_t n = std::min(_words.size(), o._words.size());
-        for (std::size_t i = 0; i < n; ++i)
-            _words[i] |= o._words[i];
+        std::uint64_t *a = words();
+        const std::uint64_t *b = o.words();
+        unsigned n = std::min(_nwords, o._nwords);
+        for (unsigned i = 0; i < n; ++i)
+            a[i] |= b[i];
         return *this;
     }
 
     NodeSet &
     operator&=(const NodeSet &o)
     {
-        for (std::size_t i = 0; i < _words.size(); ++i)
-            _words[i] &= i < o._words.size() ? o._words[i] : 0;
+        std::uint64_t *a = words();
+        const std::uint64_t *b = o.words();
+        for (unsigned i = 0; i < _nwords; ++i)
+            a[i] &= i < o._nwords ? b[i] : 0;
         return *this;
     }
 
     bool
     operator==(const NodeSet &o) const
     {
-        std::size_t n = std::max(_words.size(), o._words.size());
-        for (std::size_t i = 0; i < n; ++i) {
-            std::uint64_t a = i < _words.size() ? _words[i] : 0;
-            std::uint64_t b = i < o._words.size() ? o._words[i] : 0;
-            if (a != b)
+        const std::uint64_t *a = words();
+        const std::uint64_t *b = o.words();
+        unsigned n = std::max(_nwords, o._nwords);
+        for (unsigned i = 0; i < n; ++i) {
+            std::uint64_t x = i < _nwords ? a[i] : 0;
+            std::uint64_t y = i < o._nwords ? b[i] : 0;
+            if (x != y)
                 return false;
         }
         return true;
@@ -152,8 +203,9 @@ class NodeSet
     void
     forEach(Fn &&fn) const
     {
-        for (std::size_t i = 0; i < _words.size(); ++i) {
-            std::uint64_t w = _words[i];
+        const std::uint64_t *ws = words();
+        for (unsigned i = 0; i < _nwords; ++i) {
+            std::uint64_t w = ws[i];
             while (w) {
                 unsigned b = std::countr_zero(w);
                 fn(static_cast<NodeId>(i * 64 + b));
@@ -166,16 +218,43 @@ class NodeSet
     NodeId
     first() const
     {
-        for (std::size_t i = 0; i < _words.size(); ++i) {
-            if (_words[i]) {
+        const std::uint64_t *w = words();
+        for (unsigned i = 0; i < _nwords; ++i) {
+            if (w[i]) {
                 return static_cast<NodeId>(
-                    i * 64 + std::countr_zero(_words[i]));
+                    i * 64 + std::countr_zero(w[i]));
             }
         }
         return invalidNode;
     }
 
   private:
+    /** Words of inline storage; covers capacity <= maxNodes. */
+    static constexpr unsigned inlineWords = (maxNodes + 63) / 64;
+
+    std::uint64_t *
+    words()
+    {
+        return _nwords <= inlineWords ? _inline.data() : _big.data();
+    }
+
+    const std::uint64_t *
+    words() const
+    {
+        return _nwords <= inlineWords ? _inline.data() : _big.data();
+    }
+
+    /** Leave a moved-from set valid: empty with inline storage. */
+    void
+    resetToEmpty() noexcept
+    {
+        if (_nwords > inlineWords) {
+            _capacity = 0;
+            _nwords = 0;
+        }
+        _inline.fill(0);
+    }
+
     void
     check(NodeId n) const
     {
@@ -184,7 +263,9 @@ class NodeSet
     }
 
     unsigned _capacity;
-    std::vector<std::uint64_t> _words;
+    unsigned _nwords;
+    std::array<std::uint64_t, inlineWords> _inline;
+    std::vector<std::uint64_t> _big; ///< only when capacity > maxNodes
 };
 
 } // namespace cenju

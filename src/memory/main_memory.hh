@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "memory/address_map.hh"
+#include "sim/hashing.hh"
 #include "sim/types.hh"
 
 namespace cenju
@@ -38,6 +39,8 @@ struct Block
 class MainMemory
 {
   public:
+    MainMemory() { _blocks.reserve(64); }
+
     /** Block at local block number @p block (zero if untouched). */
     Block
     readBlock(std::uint64_t block) const
@@ -75,7 +78,7 @@ class MainMemory
     std::size_t touchedBlocks() const { return _blocks.size(); }
 
   private:
-    std::unordered_map<std::uint64_t, Block> _blocks;
+    std::unordered_map<std::uint64_t, Block, U64MixHash> _blocks;
 };
 
 } // namespace cenju

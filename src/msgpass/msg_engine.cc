@@ -39,10 +39,9 @@ MsgEngine::send(NodeId dst, int tag,
     // enters the network.
     _node.eq().scheduleAfter(
         tp.mpiSendOverhead,
-        [this, p = std::make_shared<std::unique_ptr<MsgPacket>>(
-                   std::move(pkt)),
+        [this, p = std::move(pkt),
          done = std::move(done)]() mutable {
-            _node.sendUser(std::move(*p));
+            _node.sendUser(std::move(p));
             done();
         });
 }
@@ -50,7 +49,7 @@ MsgEngine::send(NodeId dst, int tag,
 void
 MsgEngine::handleArrival(std::unique_ptr<MsgPacket> pkt)
 {
-    auto key = std::make_pair(pkt->src, pkt->tag);
+    std::uint64_t key = packKey(pkt->src, pkt->tag);
     auto wit = _waiting.find(key);
     Arrived msg{std::move(pkt->payload), pkt->payloadBytes,
                 _node.eq().now()};
@@ -69,7 +68,7 @@ void
 MsgEngine::recv(NodeId src, int tag, RecvCallback done)
 {
     ++recvs;
-    auto key = std::make_pair(src, tag);
+    std::uint64_t key = packKey(src, tag);
     auto ait = _arrived.find(key);
     if (ait != _arrived.end() && !ait->second.empty()) {
         Arrived msg = std::move(ait->second.front());

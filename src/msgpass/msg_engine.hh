@@ -18,19 +18,21 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "network/packet.hh"
 #include "node/dsm_node.hh"
+#include "sim/hashing.hh"
+#include "sim/object_pool.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace cenju
 {
 
-/** A user-level message on the wire. */
-class MsgPacket : public Packet
+/** A user-level message on the wire. Pooled like CohPacket. */
+class MsgPacket : public Packet, public Pooled<MsgPacket>
 {
   public:
     std::unique_ptr<Packet>
@@ -95,9 +97,12 @@ class MsgEngine
     void complete(const Arrived &msg, RecvCallback done);
 
     DsmNode &_node;
-    std::map<std::pair<NodeId, int>, std::deque<Arrived>> _arrived;
-    std::map<std::pair<NodeId, int>, std::deque<PendingRecv>>
-        _waiting;
+
+    /** Keys are packKey(src, tag); see sim/hashing.hh. */
+    std::unordered_map<std::uint64_t, std::deque<Arrived>,
+                       U64MixHash> _arrived;
+    std::unordered_map<std::uint64_t, std::deque<PendingRecv>,
+                       U64MixHash> _waiting;
 };
 
 } // namespace cenju

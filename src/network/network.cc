@@ -72,11 +72,11 @@ Network::attach(NodeId n, NetEndpoint *ep)
 const NodeSet &
 Network::decodedDest(const Packet &pkt) const
 {
-    if (!pkt.decodedDestCache) {
-        pkt.decodedDestCache = std::make_shared<const NodeSet>(
-            pkt.dest.decode(_cfg.numNodes));
+    if (!pkt.decodedDestValid) {
+        pkt.decodedDestCache = pkt.dest.decode(_cfg.numNodes);
+        pkt.decodedDestValid = true;
     }
-    return *pkt.decodedDestCache;
+    return pkt.decodedDestCache;
 }
 
 unsigned
@@ -144,9 +144,8 @@ Network::pumpInjector(NodeId n)
                                  _cfg.portOccupancyPerByte);
     _eq.scheduleAfter(
         _cfg.injectLatency,
-        [&sw0, port = inj.swPort,
-         p = std::make_shared<PacketPtr>(std::move(pkt))]() mutable {
-            sw0.commit(port, std::move(*p));
+        [&sw0, port = inj.swPort, p = std::move(pkt)]() mutable {
+            sw0.commit(port, std::move(p));
         });
     _eq.scheduleAfter(std::max(occ, _cfg.injectLatency),
                       [this, n] {

@@ -148,10 +148,14 @@ class Packet
     Tick injectTick = 0;
 
     /**
-     * Lazily decoded multicast destination set; shared by clones so
-     * each switch on the tree decodes at most once per message.
+     * Lazily decoded multicast destination set, stored inline so the
+     * decode never allocates. Clones copy the cache, so a copy made
+     * after the first decode inherits the set for free.
      */
-    mutable std::shared_ptr<const NodeSet> decodedDestCache;
+    mutable NodeSet decodedDestCache{0};
+
+    /** True once decodedDestCache holds the decoded set. */
+    mutable bool decodedDestValid = false;
 
     /** Monotonic id for debugging and deterministic tie-breaks. */
     std::uint64_t packetId = 0;

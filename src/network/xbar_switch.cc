@@ -99,9 +99,8 @@ XbarSwitch::commit(unsigned in_port, PacketPtr pkt)
         unsigned out = outs[0];
         _eq.scheduleAfter(_cfg.gatherMergeLatency,
                           [this, in_port, out,
-                           p = std::make_shared<PacketPtr>(
-                               std::move(pkt))]() mutable {
-                              enqueue(in_port, out, std::move(*p));
+                           p = std::move(pkt)]() mutable {
+                              enqueue(in_port, out, std::move(p));
                           });
         return;
     }
@@ -196,10 +195,8 @@ XbarSwitch::arbitrate(unsigned out)
             });
             _eq.scheduleAfter(
                 _cfg.stageLatency + _cfg.ejectLatency,
-                [this, node,
-                 p = std::make_shared<PacketPtr>(
-                     std::move(pkt))]() mutable {
-                    _net.ejectDeliver(node, std::move(*p));
+                [this, node, p = std::move(pkt)]() mutable {
+                    _net.ejectDeliver(node, std::move(p));
                 });
             inputSpaceFreed(in);
             return;
@@ -223,9 +220,8 @@ XbarSwitch::arbitrate(unsigned out)
         });
         _eq.scheduleAfter(
             _cfg.stageLatency,
-            [down, dport,
-             p = std::make_shared<PacketPtr>(std::move(pkt))]() mutable {
-                down->commit(dport, std::move(*p));
+            [down, dport, p = std::move(pkt)]() mutable {
+                down->commit(dport, std::move(p));
             });
         inputSpaceFreed(in);
         return;

@@ -42,10 +42,8 @@ DsmNode::sendFromMaster(std::unique_ptr<CohPacket> pkt)
     if (pkt->dest.kind() == DestSpec::Kind::Unicast &&
         pkt->dest.unicastDest() == _id) {
         _eq.scheduleAfter(
-            0, [this, p = std::make_shared<
-                          std::unique_ptr<CohPacket>>(
-                          std::move(pkt))]() mutable {
-                dispatch(std::move(*p));
+            0, [this, p = std::move(pkt)]() mutable {
+                dispatch(std::move(p));
             });
         return;
     }
@@ -60,10 +58,8 @@ DsmNode::trySendFromSlave(std::unique_ptr<CohPacket> &pkt)
         pkt->dest.unicastDest() == _id && !pkt->gathered) {
         ++_sent;
         _eq.scheduleAfter(
-            0, [this, p = std::make_shared<
-                          std::unique_ptr<CohPacket>>(
-                          std::move(pkt))]() mutable {
-                dispatch(std::move(*p));
+            0, [this, p = std::move(pkt)]() mutable {
+                dispatch(std::move(p));
             });
         return true;
     }
@@ -97,10 +93,8 @@ DsmNode::trySendFromHome(std::unique_ptr<CohPacket> &pkt)
         pkt->dest.unicastDest() == _id) {
         ++_sent;
         _eq.scheduleAfter(
-            0, [this, p = std::make_shared<
-                          std::unique_ptr<CohPacket>>(
-                          std::move(pkt))]() mutable {
-                dispatch(std::move(*p));
+            0, [this, p = std::move(pkt)]() mutable {
+                dispatch(std::move(p));
             });
         return true;
     }
@@ -239,11 +233,10 @@ DsmNode::sendUser(PacketPtr pkt)
     if (pkt->dest.kind() == DestSpec::Kind::Unicast &&
         pkt->dest.unicastDest() == _id) {
         _eq.scheduleAfter(
-            0, [this, p = std::make_shared<PacketPtr>(
-                          std::move(pkt))]() mutable {
+            0, [this, p = std::move(pkt)]() mutable {
                 if (!_userHandler)
                     panic("node %u: no user handler", _id);
-                _userHandler(std::move(*p));
+                _userHandler(std::move(p));
             });
         return;
     }

@@ -31,7 +31,13 @@ Cache::Cache(unsigned bytes, unsigned assoc) : _assoc(assoc)
     // Power-of-two sets keep indexing a mask.
     while (_sets & (_sets - 1))
         --_sets;
-    _lines.resize(static_cast<std::size_t>(_sets) * _assoc);
+    _setLines.resize(_sets);
+}
+
+CacheLine *
+Cache::setBase(Addr addr)
+{
+    return _setLines[setIndex(addr)].get();
 }
 
 unsigned
@@ -47,10 +53,10 @@ Cache::setIndex(Addr addr) const
 CacheLine *
 Cache::lookup(Addr addr)
 {
+    CacheLine *base = setBase(addr);
+    if (!base)
+        return nullptr; // untouched set: nothing valid in it
     Addr tag = blockBase(addr);
-    CacheLine *base = &_lines[static_cast<std::size_t>(
-                          setIndex(addr)) *
-                      _assoc];
     for (unsigned w = 0; w < _assoc; ++w) {
         CacheLine &line = base[w];
         if (line.valid() && line.tag == tag)
@@ -68,9 +74,10 @@ Cache::lookup(Addr addr) const
 CacheLine *
 Cache::allocate(Addr addr)
 {
-    CacheLine *base = &_lines[static_cast<std::size_t>(
-                          setIndex(addr)) *
-                      _assoc];
+    auto &slot = _setLines[setIndex(addr)];
+    if (!slot)
+        slot = std::make_unique<CacheLine[]>(_assoc);
+    CacheLine *base = slot.get();
     CacheLine *victim = nullptr;
     for (unsigned w = 0; w < _assoc; ++w) {
         CacheLine &line = base[w];
@@ -88,8 +95,12 @@ unsigned
 Cache::validLines() const
 {
     unsigned n = 0;
-    for (const CacheLine &line : _lines)
-        n += line.valid();
+    for (const auto &slot : _setLines) {
+        if (!slot)
+            continue;
+        for (unsigned w = 0; w < _assoc; ++w)
+            n += slot[w].valid();
+    }
     return n;
 }
 

@@ -13,6 +13,7 @@
 #define CENJU_PROTOCOL_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "memory/main_memory.hh"
@@ -86,10 +87,19 @@ class Cache
   private:
     unsigned setIndex(Addr addr) const;
 
+    /** Ways of one set, or null until the set is first touched. */
+    CacheLine *setBase(Addr addr);
+
     unsigned _sets;
     unsigned _assoc;
     std::uint64_t _useClock = 0;
-    std::vector<CacheLine> _lines; ///< sets x assoc, row-major
+
+    /**
+     * Per-set line storage, materialized on first allocate. A
+     * 1024-node system would otherwise zero gigabytes of CacheLine
+     * vectors at construction; benches touch a tiny fraction.
+     */
+    std::vector<std::unique_ptr<CacheLine[]>> _setLines;
 };
 
 } // namespace cenju

@@ -17,6 +17,7 @@
 
 #include "memory/main_memory.hh"
 #include "network/packet.hh"
+#include "sim/object_pool.hh"
 #include "sim/types.hh"
 
 namespace cenju
@@ -97,8 +98,12 @@ isHomeBound(CohMsgType t)
            t == CohMsgType::SlaveData || t == CohMsgType::InvAck;
 }
 
-/** A coherence message travelling on the network. */
-class CohPacket : public Packet
+/**
+ * A coherence message travelling on the network. Pooled: forwarding
+ * and clone paths recycle CohPacket blocks through a thread-local
+ * freelist instead of hitting the heap per hop.
+ */
+class CohPacket : public Packet, public Pooled<CohPacket>
 {
   public:
     std::unique_ptr<Packet>

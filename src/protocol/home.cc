@@ -1,5 +1,7 @@
 #include "protocol/home.hh"
 
+#include <algorithm>
+
 #include "directory/cenju_node_map.hh"
 #include "node/dsm_node.hh"
 
@@ -12,7 +14,13 @@ HomeModule::HomeModule(DsmNode &node)
       _reqQueue("home.reqQueue",
                 static_cast<std::size_t>(node.numNodes()) *
                     maxOutstanding)
-{}
+{
+    // Enough for the typical outstanding-op population; capped so
+    // 1024-node systems don't pay megabytes of empty buckets.
+    _pending.reserve(std::min<std::size_t>(
+        static_cast<std::size_t>(node.numNodes()) * maxOutstanding,
+        512));
+}
 
 DirectoryEntry &
 HomeModule::entryFor(Addr addr)
@@ -101,9 +109,8 @@ void
 HomeModule::emitAt(Tick t, std::unique_ptr<CohPacket> pkt)
 {
     _node.eq().scheduleAfter(
-        t, [this, p = std::make_shared<std::unique_ptr<CohPacket>>(
-                std::move(pkt))]() mutable {
-            if (!_node.trySendFromHome(*p)) {
+        t, [this, p = std::move(pkt)]() mutable {
+            if (!_node.trySendFromHome(p)) {
                 // Ablation mode: bounded output is full. The node
                 // holds the packet; stop consuming input until the
                 // node drains (the Figure 9 home->network edge).

@@ -24,6 +24,7 @@
 #include "directory/directory.hh"
 #include "memory/msg_queue.hh"
 #include "protocol/coh_msg.hh"
+#include "sim/hashing.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -165,7 +166,7 @@ class HomeModule
     DsmNode &_node;
     Directory _dir;
     MsgQueue<QueuedReq> _reqQueue;
-    std::unordered_map<Addr, PendingOp> _pending;
+    std::unordered_map<Addr, PendingOp, U64MixHash> _pending;
     std::deque<std::unique_ptr<CohPacket>> _input;
     std::deque<WaitingMulticast> _gatherWait;
     bool _busy = false;

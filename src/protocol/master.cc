@@ -278,9 +278,8 @@ MasterModule::launchUpdate()
     pkt->ackGatherGroup = group;
     _node.eq().scheduleAfter(
         _node.timing().masterOverhead,
-        [this, p = std::make_shared<std::unique_ptr<CohPacket>>(
-                   std::move(pkt))]() mutable {
-            _node.sendFromMaster(std::move(*p));
+        [this, p = std::move(pkt)]() mutable {
+            _node.sendFromMaster(std::move(p));
         });
 }
 
@@ -368,9 +367,8 @@ MasterModule::sendRequest(unsigned slot)
     // The request leaves after the miss-detection overhead.
     _node.eq().scheduleAfter(
         _node.timing().masterOverhead,
-        [this, p = std::make_shared<std::unique_ptr<CohPacket>>(
-                   std::move(pkt))]() mutable {
-            _node.sendFromMaster(std::move(*p));
+        [this, p = std::move(pkt)]() mutable {
+            _node.sendFromMaster(std::move(p));
         });
 }
 

@@ -157,9 +157,8 @@ SlaveModule::serve(std::unique_ptr<CohPacket> pkt, Tick extra)
         : tp.slaveOccupancy;
     _node.eq().scheduleAfter(
         occupancy + extra,
-        [this, r = std::make_shared<std::unique_ptr<CohPacket>>(
-                   std::move(reply))]() mutable {
-            emitReply(std::move(*r));
+        [this, r = std::move(reply)]() mutable {
+            emitReply(std::move(r));
         });
 }
 

@@ -5,16 +5,21 @@
  * A single EventQueue drives one simulated system. Events are
  * arbitrary callables scheduled at absolute ticks; ties are broken by
  * insertion order so simulations are fully deterministic.
+ *
+ * The kernel is allocation-free in steady state (docs/PERF.md):
+ * callbacks are InlineFunction with 64 bytes of inline capture
+ * storage, the pending-event heap holds small (when, seq, slot)
+ * records, and callback slots are recycled through a freelist, so a
+ * typical schedule/run cycle touches the heap allocator zero times.
  */
 
 #ifndef CENJU_SIM_EVENT_QUEUE_HH
 #define CENJU_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "inline_function.hh"
 #include "logging.hh"
 #include "types.hh"
 
@@ -30,7 +35,8 @@ namespace cenju
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Move-only callback; captures <= 64 bytes never allocate. */
+    using Callback = InlineFunction<void()>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -49,7 +55,17 @@ class EventQueue
         if (when < _now)
             panic("scheduling event in the past (%llu < %llu)",
                   (unsigned long long)when, (unsigned long long)_now);
-        _events.push(Entry{when, _nextSeq++, std::move(cb)});
+        std::uint32_t slot;
+        if (!_freeSlots.empty()) {
+            slot = _freeSlots.back();
+            _freeSlots.pop_back();
+            _slots[slot] = std::move(cb);
+        } else {
+            slot = static_cast<std::uint32_t>(_slots.size());
+            _slots.push_back(std::move(cb));
+        }
+        _heap.push_back(Entry{when, _nextSeq++, slot});
+        siftUp(_heap.size() - 1);
     }
 
     /** Schedule @p cb to run @p delay ticks from now. */
@@ -60,16 +76,16 @@ class EventQueue
     }
 
     /** True if no events remain. */
-    bool empty() const { return _events.empty(); }
+    bool empty() const { return _heap.empty(); }
 
     /** Number of pending events. */
-    std::size_t size() const { return _events.size(); }
+    std::size_t size() const { return _heap.size(); }
 
     /** Time of the next pending event (maxTick if none). */
     Tick
     nextEventTick() const
     {
-        return _events.empty() ? maxTick : _events.top().when;
+        return _heap.empty() ? maxTick : _heap.front().when;
     }
 
     /**
@@ -79,14 +95,17 @@ class EventQueue
     bool
     runOne()
     {
-        if (_events.empty())
+        if (_heap.empty())
             return false;
-        // The callback may schedule new events, so move it out first.
-        Entry e = std::move(const_cast<Entry &>(_events.top()));
-        _events.pop();
+        Entry e = _heap.front();
+        popTop();
+        // The callback may schedule new events, so move it out of
+        // its slot (and recycle the slot) before invoking.
+        Callback cb = std::move(_slots[e.slot]);
+        _freeSlots.push_back(e.slot);
         _now = e.when;
         ++_executed;
-        e.cb();
+        cb();
         return true;
     }
 
@@ -102,17 +121,19 @@ class EventQueue
 
     /**
      * Run events with timestamps <= @p limit; leaves later events
-     * queued and advances now() to min(limit, last event time).
+     * queued. On return now() == max(limit, previous now()) whether
+     * or not events remain — callers advancing a system in fixed
+     * quanta observe the same clock either way.
      */
     std::uint64_t
     runUntil(Tick limit)
     {
         std::uint64_t n = 0;
-        while (!_events.empty() && _events.top().when <= limit) {
+        while (!_heap.empty() && _heap.front().when <= limit) {
             runOne();
             ++n;
         }
-        if (_now < limit && _events.empty())
+        if (_now < limit)
             _now = limit;
         return n;
     }
@@ -121,23 +142,65 @@ class EventQueue
     std::uint64_t executed() const { return _executed; }
 
   private:
+    /** Heap record; the callback lives in _slots[slot]. */
     struct Entry
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
-
-        bool
-        operator>(const Entry &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
-        }
+        std::uint32_t slot;
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
-        _events;
+    /** Strict ordering: earliest tick first, FIFO within a tick. */
+    static bool
+    before(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        Entry item = _heap[i];
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (!before(item, _heap[parent]))
+                break;
+            _heap[i] = _heap[parent];
+            i = parent;
+        }
+        _heap[i] = item;
+    }
+
+    /** Remove the root, restoring the heap property. */
+    void
+    popTop()
+    {
+        Entry last = _heap.back();
+        _heap.pop_back();
+        std::size_t n = _heap.size();
+        if (n == 0)
+            return;
+        std::size_t i = 0;
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n &&
+                before(_heap[child + 1], _heap[child]))
+                ++child;
+            if (!before(_heap[child], last))
+                break;
+            _heap[i] = _heap[child];
+            i = child;
+        }
+        _heap[i] = last;
+    }
+
+    std::vector<Entry> _heap;
+    std::vector<Callback> _slots;      ///< indexed by Entry::slot
+    std::vector<std::uint32_t> _freeSlots;
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Move-only callable wrapper with small-buffer inline storage.
+ *
+ * The simulation kernel schedules millions of closures per second;
+ * std::function heap-allocates any capture past ~16 bytes and
+ * requires copyability, which forced shared_ptr<unique_ptr<...>>
+ * wrappers around move-only packet captures all over the hot paths.
+ * InlineFunction fixes both: captures up to the inline capacity
+ * (default 64 bytes) live inside the object, and the wrapper is
+ * move-only, so packets are captured by plain move. Oversized or
+ * throwing-move callables transparently fall back to one heap box.
+ */
+
+#ifndef CENJU_SIM_INLINE_FUNCTION_HH
+#define CENJU_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace cenju
+{
+
+template <typename Sig, std::size_t Capacity = 64>
+class InlineFunction;
+
+/** Move-only callable with @p Capacity bytes of inline storage. */
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity>
+{
+  public:
+    InlineFunction() noexcept = default;
+    InlineFunction(std::nullptr_t) noexcept {}
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    InlineFunction(F &&f) // NOLINT: implicit like std::function
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (storage()) D(std::forward<F>(f));
+            _ops = opsFor<D>();
+        } else {
+            // Fallback: one heap box, still move-only.
+            ::new (storage()) D *(new D(std::forward<F>(f)));
+            _ops = opsFor<D *>();
+        }
+    }
+
+    InlineFunction(InlineFunction &&o) noexcept { moveFrom(o); }
+
+    InlineFunction &
+    operator=(InlineFunction &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    explicit operator bool() const noexcept
+    {
+        return _ops != nullptr;
+    }
+
+    /** Invoke. @pre bool(*this) */
+    R
+    operator()(Args... args)
+    {
+        return _ops->invoke(storage(),
+                            std::forward<Args>(args)...);
+    }
+
+    /** Destroy the held callable, if any. */
+    void
+    reset() noexcept
+    {
+        if (_ops) {
+            _ops->destroy(storage());
+            _ops = nullptr;
+        }
+    }
+
+    /** True if a callable of type D would avoid the heap box. */
+    template <typename D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= Capacity &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *, Args &&...);
+        /** Move-construct into @p to, destroy @p from. */
+        void (*relocate)(void *from, void *to) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    /** T is either the callable itself (inline) or a D* (boxed). */
+    template <typename T>
+    static const Ops *
+    opsFor()
+    {
+        static constexpr Ops ops = {
+            [](void *p, Args &&...args) -> R {
+                if constexpr (std::is_pointer_v<T>) {
+                    return (**static_cast<T *>(p))(
+                        std::forward<Args>(args)...);
+                } else {
+                    return (*static_cast<T *>(p))(
+                        std::forward<Args>(args)...);
+                }
+            },
+            [](void *from, void *to) noexcept {
+                T *f = static_cast<T *>(from);
+                ::new (to) T(std::move(*f));
+                f->~T();
+            },
+            [](void *p) noexcept {
+                if constexpr (std::is_pointer_v<T>)
+                    delete *static_cast<T *>(p);
+                else
+                    static_cast<T *>(p)->~T();
+            },
+        };
+        return &ops;
+    }
+
+    void
+    moveFrom(InlineFunction &o) noexcept
+    {
+        _ops = o._ops;
+        if (_ops) {
+            _ops->relocate(o.storage(), storage());
+            o._ops = nullptr;
+        }
+    }
+
+    void *storage() noexcept { return _buf; }
+
+    alignas(std::max_align_t) unsigned char _buf[Capacity];
+    const Ops *_ops = nullptr;
+};
+
+} // namespace cenju
+
+#endif // CENJU_SIM_INLINE_FUNCTION_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Host-side worker pool for embarrassingly parallel sweeps.
+ *
+ * Each simulated system is strictly single-threaded; sweeps over
+ * independent configurations (stress seeds, figure benches) are
+ * trivially parallel. ThreadPool runs such jobs across hardware
+ * threads. Results stay deterministic because jobs share nothing:
+ * callers collect per-job outputs and order them after wait().
+ */
+
+#ifndef CENJU_SIM_THREAD_POOL_HH
+#define CENJU_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cenju
+{
+
+/** Fixed-size pool; submit() enqueues, wait() drains. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency */
+    explicit ThreadPool(unsigned threads = 0)
+    {
+        if (threads == 0) {
+            threads = std::thread::hardware_concurrency();
+            if (threads == 0)
+                threads = 1;
+        }
+        _workers.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            _workers.emplace_back([this] { workerLoop(); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(_mu);
+            _stopping = true;
+        }
+        _wake.notify_all();
+        for (auto &w : _workers)
+            w.join();
+    }
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(_workers.size());
+    }
+
+    /** Enqueue a job; runs on some worker thread. */
+    void
+    submit(std::function<void()> job)
+    {
+        {
+            std::lock_guard<std::mutex> lk(_mu);
+            _jobs.push_back(std::move(job));
+            ++_outstanding;
+        }
+        _wake.notify_one();
+    }
+
+    /** Block until every submitted job has finished. */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lk(_mu);
+        _idle.wait(lk, [this] { return _outstanding == 0; });
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lk(_mu);
+                _wake.wait(lk, [this] {
+                    return _stopping || !_jobs.empty();
+                });
+                if (_jobs.empty())
+                    return; // stopping and drained
+                job = std::move(_jobs.front());
+                _jobs.pop_front();
+            }
+            job();
+            {
+                std::lock_guard<std::mutex> lk(_mu);
+                if (--_outstanding == 0)
+                    _idle.notify_all();
+            }
+        }
+    }
+
+    std::mutex _mu;
+    std::condition_variable _wake;
+    std::condition_variable _idle;
+    std::deque<std::function<void()>> _jobs;
+    std::size_t _outstanding = 0;
+    bool _stopping = false;
+    std::vector<std::thread> _workers;
+};
+
+} // namespace cenju
+
+#endif // CENJU_SIM_THREAD_POOL_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Determinism golden tests (docs/PERF.md).
+ *
+ * Every stress run hashes the order of engine steps it observes into
+ * an FNV-1a digest. These digests were recorded before the kernel
+ * performance overhaul; any kernel, pool, or container change that
+ * alters event ordering — and therefore simulated behavior — flips a
+ * digest and fails here. Full-sweep goldens (200 seeds at 16 nodes,
+ * 40 at 64) live in tests/golden/ and are checked by
+ * `sweeprunner stress --golden` in CI; this test pins a fast subset
+ * so plain ctest catches regressions too.
+ *
+ * If a change is SUPPOSED to alter simulated behavior (timing model
+ * change, protocol fix), re-record: run
+ *   sweeprunner stress --nodes 16 --seeds 200 --out <golden16>
+ *   sweeprunner stress --nodes 64 --seeds 40  --out <golden64>
+ * and update the constants below to match.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fault/stress.hh"
+
+using namespace cenju;
+using namespace cenju::fault;
+
+namespace
+{
+
+struct Golden
+{
+    std::uint64_t seed;
+    unsigned nodes;
+    std::uint64_t digest;
+    std::uint64_t steps;
+};
+
+std::uint64_t
+digestFor(std::uint64_t seed, unsigned nodes,
+          std::uint64_t *steps = nullptr)
+{
+    StressOptions opts;
+    opts.nodes = nodes;
+    StressCase c = makeStressCase(seed, opts);
+    StressResult r = runStressCase(c);
+    EXPECT_FALSE(r.failed())
+        << "seed " << seed << " at " << nodes << " nodes failed";
+    if (steps)
+        *steps = r.steps;
+    return r.digest;
+}
+
+} // namespace
+
+TEST(Determinism, GoldenDigests16Nodes)
+{
+    const Golden goldens[] = {
+        {1, 16, 0x89f86e6e4ff4ec00ull, 6930},
+        {2, 16, 0x8e71944da0a41c09ull, 5343},
+        {3, 16, 0x895a5d22ae8e5046ull, 0},
+        {7341, 16, 0xb833fc126ac946e7ull, 9215},
+    };
+    for (const Golden &g : goldens) {
+        std::uint64_t steps = 0;
+        EXPECT_EQ(digestFor(g.seed, g.nodes, &steps), g.digest)
+            << "seed " << g.seed
+            << ": kernel change altered event ordering";
+        if (g.steps)
+            EXPECT_EQ(steps, g.steps) << "seed " << g.seed;
+    }
+}
+
+TEST(Determinism, GoldenDigests64Nodes)
+{
+    const Golden goldens[] = {
+        {1, 64, 0x02b73919bd40dd43ull, 31387},
+        {2, 64, 0x17c74ea701cf9d89ull, 23764},
+    };
+    for (const Golden &g : goldens) {
+        std::uint64_t steps = 0;
+        EXPECT_EQ(digestFor(g.seed, g.nodes, &steps), g.digest)
+            << "seed " << g.seed
+            << ": kernel change altered event ordering";
+        EXPECT_EQ(steps, g.steps) << "seed " << g.seed;
+    }
+}
+
+TEST(Determinism, BackToBackRunsAreBitIdentical)
+{
+    std::uint64_t a = digestFor(11, 16);
+    std::uint64_t b = digestFor(11, 16);
+    EXPECT_EQ(a, b);
+}

@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/object_pool.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/timing.hh"
@@ -74,6 +78,71 @@ TEST(EventQueue, RunUntilAdvancesTimeWhenEmpty)
     EventQueue eq;
     eq.runUntil(100);
     EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithPendingEvents)
+{
+    // Regression: now() must reach the limit even when later events
+    // remain queued, so fixed-quantum callers see a consistent clock.
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(20), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.runUntil(25);
+    EXPECT_EQ(eq.now(), 25u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, MoveOnlyCaptureIsSchedulable)
+{
+    EventQueue eq;
+    auto p = std::make_unique<int>(7);
+    int seen = 0;
+    eq.schedule(1, [q = std::move(p), &seen] { seen = *q; });
+    eq.run();
+    EXPECT_EQ(seen, 7);
+}
+
+namespace
+{
+
+struct PooledThing : cenju::Pooled<PooledThing>
+{
+    std::uint64_t payload[4] = {};
+};
+
+} // namespace
+
+TEST(ObjectPool, RecyclesBlocks)
+{
+    PooledThing::drainPool();
+    auto *a = new PooledThing;
+    delete a;
+    EXPECT_EQ(PooledThing::pooledCount(), 1u);
+    auto *b = new PooledThing; // reuses the freed block
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(PooledThing::pooledCount(), 0u);
+    delete b;
+    PooledThing::drainPool();
+    EXPECT_EQ(PooledThing::pooledCount(), 0u);
+}
+
+TEST(EventQueue, LargeCaptureStillRuns)
+{
+    // Captures past the inline capacity fall back to a heap box.
+    EventQueue eq;
+    std::array<std::uint64_t, 32> big{};
+    big[31] = 99;
+    std::uint64_t seen = 0;
+    eq.schedule(1, [big, &seen] { seen = big[31]; });
+    eq.run();
+    EXPECT_EQ(seen, 99u);
 }
 
 TEST(EventQueue, SchedulingInPastDies)

@@ -19,8 +19,10 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "fault/stress.hh"
+#include "sim/thread_pool.hh"
 
 using namespace cenju;
 using namespace cenju::fault;
@@ -46,6 +48,8 @@ usage(const char *argv0)
         "  --replay S       run seed S twice, compare digests\n"
         "  --replay-file F  rerun a serialized reproducer\n"
         "  --no-shrink      skip minimization of a failing case\n"
+        "  --jobs N         parallel workers for seed sweeps\n"
+        "                   (default 1; 0 = hardware threads)\n"
         "  --expect-caught  exit 0 iff the sweep found a failure\n"
         "  --out FILE       write the minimal reproducer to FILE\n",
         argv0, (unsigned long long)defaultEventBudget);
@@ -90,6 +94,7 @@ struct Options
     std::string replayFile;
     bool shrink = true;
     bool expectCaught = false;
+    unsigned jobs = 1;
     std::string outFile;
     StressOptions gen;
 };
@@ -218,6 +223,8 @@ main(int argc, char **argv)
             opt.replayFile = next();
         } else if (a == "--no-shrink") {
             opt.shrink = false;
+        } else if (a == "--jobs") {
+            opt.jobs = unsigned(std::stoul(next()));
         } else if (a == "--expect-caught") {
             opt.expectCaught = true;
         } else if (a == "--out") {
@@ -252,11 +259,32 @@ main(int argc, char **argv)
                 (unsigned long long)opt.seeds,
                 (unsigned long long)opt.seedBase, opt.gen.nodes,
                 protoBugName(opt.gen.bug));
+
+    // With --jobs != 1 the whole sweep runs up front on a worker
+    // pool (each run is an independent single-threaded simulation);
+    // results are then scanned in seed order, so the reported first
+    // failure matches a sequential sweep.
+    std::vector<StressResult> sweep;
+    if (opt.jobs != 1) {
+        sweep.resize(opt.seeds);
+        ThreadPool pool(opt.jobs);
+        for (std::uint64_t i = 0; i < opt.seeds; ++i) {
+            pool.submit([i, &opt, &sweep] {
+                StressCase c =
+                    makeStressCase(opt.seedBase + i, opt.gen);
+                sweep[i] = runStressCase(c, opt.budget);
+            });
+        }
+        pool.wait();
+    }
+
     std::uint64_t clean = 0;
     for (std::uint64_t i = 0; i < opt.seeds; ++i) {
         std::uint64_t seed = opt.seedBase + i;
         StressCase c = makeStressCase(seed, opt.gen);
-        StressResult r = runStressCase(c, opt.budget);
+        StressResult r = sweep.empty()
+                             ? runStressCase(c, opt.budget)
+                             : std::move(sweep[i]);
         if (!r.failed()) {
             ++clean;
             continue;
