@@ -72,6 +72,6 @@ main(int argc, char **argv)
     std::printf("cache miss ratio: %.1f%%\n",
                 100.0 * stats.missRatio());
     std::printf("network packets delivered: %llu\n",
-                (unsigned long long)sys.network().deliveredCount());
+                (unsigned long long)sys.transport().deliveredCount());
     return ok ? 0 : 1;
 }

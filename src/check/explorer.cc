@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "network/network.hh"
 #include "node/dsm_node.hh"
 
 namespace cenju::check

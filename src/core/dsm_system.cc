@@ -1,5 +1,8 @@
 #include "core/dsm_system.hh"
 
+#include "network/network.hh"
+#include "transport/factory.hh"
+
 namespace cenju
 {
 
@@ -14,7 +17,7 @@ DsmSystem::DsmSystem(const SystemConfig &cfg) : _cfg(cfg)
     nc.ejectLatency = cfg.proto.timing.networkOverhead -
                       cfg.proto.timing.networkOverhead / 2;
     nc.gatherMergeLatency = cfg.proto.timing.gatherMergeLatency;
-    _net = std::make_unique<Network>(_eq, nc);
+    _net = makeTransport(cfg.transport, _eq, nc);
 
     for (NodeId n = 0; n < cfg.numNodes; ++n) {
         _nodes.push_back(
@@ -44,6 +47,18 @@ DsmSystem::DsmSystem(const SystemConfig &cfg) : _cfg(cfg)
 }
 
 DsmSystem::~DsmSystem() = default;
+
+Network &
+DsmSystem::network()
+{
+    auto *net = dynamic_cast<Network *>(_net.get());
+    if (!net) {
+        panic("network(): the configured transport is \"%s\", not "
+              "the multistage fabric; use transport() instead",
+              _net->name());
+    }
+    return *net;
+}
 
 ShmArray
 DsmSystem::shmAlloc(std::size_t words, Mapping map)

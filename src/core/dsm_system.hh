@@ -35,12 +35,13 @@
 #include "core/sync.hh"
 #include "exec/task.hh"
 #include "msgpass/msg_engine.hh"
-#include "network/network.hh"
 #include "node/dsm_node.hh"
 #include "sim/event_queue.hh"
 
 namespace cenju
 {
+
+class Network;
 
 /** Whole-system configuration. */
 struct SystemConfig
@@ -53,6 +54,13 @@ struct SystemConfig
 
     /** Crosspoint buffer capacity per switch. */
     unsigned xbCapacity = 8;
+
+    /**
+     * Interconnect backend (docs/ARCHITECTURE.md): the multistage
+     * fabric by default, overridable per process with
+     * CENJU_TRANSPORT=multistage|ideal|direct.
+     */
+    TransportKind transport = defaultTransportKind();
 
     /** Protocol, cache and timing parameters. */
     ProtocolConfig proto;
@@ -153,7 +161,18 @@ class DsmSystem
     // --- component access (benches, tests) -------------------------
 
     EventQueue &eq() { return _eq; }
-    Network &network() { return *_net; }
+
+    /** The interconnect, whatever the configured backend. */
+    Transport &transport() { return *_net; }
+
+    /**
+     * The multistage fabric. Panics unless the configured backend
+     * is TransportKind::Multistage — callers poking at switches or
+     * topology should either require that backend or go through
+     * transport().
+     */
+    Network &network();
+
     DsmNode &node(NodeId n) { return *_nodes[n]; }
     Env &env(NodeId n) { return *_envs[n]; }
     unsigned numNodes() const { return _cfg.numNodes; }
@@ -168,7 +187,7 @@ class DsmSystem
   private:
     SystemConfig _cfg;
     EventQueue _eq;
-    std::unique_ptr<Network> _net;
+    std::unique_ptr<Transport> _net;
     std::vector<std::unique_ptr<DsmNode>> _nodes;
 
     /** Self-checking mode (proto.runtimeChecks / CENJU_CHECK):

@@ -1,24 +1,45 @@
 #include "fault/injector.hh"
 
 #include "core/dsm_system.hh"
+#include "network/topology.hh"
 
 namespace cenju::fault
 {
 
+namespace
+{
+
+// Fault plans address switch coordinates even on fabrics without
+// switches; clamping against a degenerate 0x0 shape would divide by
+// zero, so pretend such fabrics have one stage and one row (the
+// fabricKick below is a no-op there anyway).
+Transport::FabricShape
+clampedShape(Transport &t)
+{
+    Transport::FabricShape sh = t.fabricShape();
+    if (sh.stages == 0)
+        sh.stages = 1;
+    if (sh.rows == 0)
+        sh.rows = 1;
+    return sh;
+}
+
+} // namespace
+
 FaultInjector::FaultInjector(DsmSystem &sys)
-    : _sys(sys), _stages(sys.network().topology().stages()),
-      _rows(sys.network().topology().rowsPerStage()),
+    : _sys(sys), _stages(clampedShape(sys.transport()).stages),
+      _rows(clampedShape(sys.transport()).rows),
       _injectSqueeze(sys.numNodes(), 0),
       _xbSqueeze(std::size_t(_stages) * _rows, 0),
       _stallHolds(std::size_t(_stages) * _rows * switchRadix, 0),
       _deliveryHolds(sys.numNodes(), 0)
 {
-    _sys.network().setFaultHook(this);
+    _sys.transport().setFaultHook(this);
 }
 
 FaultInjector::~FaultInjector()
 {
-    _sys.network().setFaultHook(nullptr);
+    _sys.transport().setFaultHook(nullptr);
 }
 
 FaultEvent
@@ -83,7 +104,7 @@ void
 FaultInjector::close(const FaultEvent &e)
 {
     --_active;
-    Network &net = _sys.network();
+    Transport &net = _sys.transport();
     switch (e.kind) {
       case FaultKind::InjectSqueeze:
         _injectSqueeze[e.node] -= e.amount;
@@ -91,12 +112,12 @@ FaultInjector::close(const FaultEvent &e)
         break;
       case FaultKind::XbSqueeze:
         _xbSqueeze[e.stage * _rows + e.row] -= e.amount;
-        net.switchAt(e.stage, e.row).faultKick();
+        net.fabricKick(e.stage, e.row);
         break;
       case FaultKind::SwitchStall:
         if (--_stallHolds[(e.stage * _rows + e.row) * switchRadix +
                           e.port] == 0)
-            net.switchAt(e.stage, e.row).faultKick();
+            net.fabricKick(e.stage, e.row);
         break;
       case FaultKind::DeliveryHold:
         if (--_deliveryHolds[e.node] == 0)

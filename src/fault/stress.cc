@@ -5,6 +5,7 @@
 
 #include "core/dsm_system.hh"
 #include "fault/injector.hh"
+#include "network/topology.hh"
 #include "sim/rng.hh"
 
 namespace cenju::fault
@@ -33,6 +34,7 @@ makeStressCase(std::uint64_t seed, const StressOptions &opts)
 
     StressCase c;
     c.nodes = opts.nodes;
+    c.transport = opts.transport;
     c.bug = opts.bug;
     // Small crosspoint buffers tighten back-pressure so fault
     // windows actually bite.
@@ -120,6 +122,7 @@ runStressCase(const StressCase &c, std::uint64_t eventBudget)
     SystemConfig cfg;
     cfg.numNodes = c.nodes;
     cfg.xbCapacity = c.xbCapacity;
+    cfg.transport = c.transport;
     cfg.proto.injectBug = c.bug;
     // The harness owns checking (Collect mode, so a violating run
     // finishes and can be shrunk); keep the system's Panic checker
@@ -137,7 +140,7 @@ runStressCase(const StressCase &c, std::uint64_t eventBudget)
     DigestHook digest(&checker);
     for (NodeId n = 0; n < c.nodes; ++n)
         sys.node(n).setCheckHook(&digest);
-    sys.network().setCheckHook(&digest);
+    sys.transport().setCheckHook(&digest);
 
     FaultInjector injector(sys);
     injector.arm(c.plan);
@@ -315,6 +318,7 @@ serializeCase(const StressCase &c)
     os << "stresscase v1\n";
     os << "nodes " << c.nodes << "\n";
     os << "xbcap " << c.xbCapacity << "\n";
+    os << "transport " << transportKindName(c.transport) << "\n";
     os << "bug " << protoBugName(c.bug) << "\n";
     os << "pattern " << stressPatternName(c.workload.pattern)
        << "\n";
@@ -326,6 +330,44 @@ serializeCase(const StressCase &c)
         os << serializeFaultEvent(e) << "\n";
     os << "end\n";
     return os.str();
+}
+
+bool
+applyCaseKey(StressCase &c, const std::string &key,
+             const std::string &value, std::string &err)
+{
+    if (key == "nodes")
+        c.nodes = unsigned(std::stoul(value));
+    else if (key == "xbcap")
+        c.xbCapacity = unsigned(std::stoul(value));
+    else if (key == "transport") {
+        if (!transportKindFromName(value.c_str(), c.transport)) {
+            err = "bad transport name: " + value;
+            return false;
+        }
+    } else if (key == "bug") {
+        if (!protoBugFromName(value, c.bug)) {
+            err = "bad bug name: " + value;
+            return false;
+        }
+    } else if (key == "pattern") {
+        if (!stressPatternFromName(value, c.workload.pattern)) {
+            err = "bad pattern name: " + value;
+            return false;
+        }
+    } else if (key == "blocks")
+        c.workload.blocks = unsigned(std::stoul(value));
+    else if (key == "ops")
+        c.workload.opsPerNode = unsigned(std::stoul(value));
+    else if (key == "rounds")
+        c.workload.rounds = unsigned(std::stoul(value));
+    else if (key == "wseed")
+        c.workload.seed = std::stoull(value);
+    else {
+        err = "unknown key '" + key + "'";
+        return false;
+    }
+    return true;
 }
 
 bool
@@ -369,33 +411,8 @@ parseCase(const std::string &text, StressCase &out, std::string &err)
             err = "missing value for '" + key + "'";
             return false;
         }
-        if (key == "nodes")
-            out.nodes = unsigned(std::stoul(value));
-        else if (key == "xbcap")
-            out.xbCapacity = unsigned(std::stoul(value));
-        else if (key == "bug") {
-            if (!protoBugFromName(value, out.bug)) {
-                err = "bad bug name: " + value;
-                return false;
-            }
-        } else if (key == "pattern") {
-            if (!stressPatternFromName(value,
-                                       out.workload.pattern)) {
-                err = "bad pattern name: " + value;
-                return false;
-            }
-        } else if (key == "blocks")
-            out.workload.blocks = unsigned(std::stoul(value));
-        else if (key == "ops")
-            out.workload.opsPerNode = unsigned(std::stoul(value));
-        else if (key == "rounds")
-            out.workload.rounds = unsigned(std::stoul(value));
-        else if (key == "wseed")
-            out.workload.seed = std::stoull(value);
-        else {
-            err = "unknown key '" + key + "'";
+        if (!applyCaseKey(out, key, value, err))
             return false;
-        }
     }
     if (!sawHeader) {
         err = "empty reproducer";

@@ -30,6 +30,7 @@
 #include "check/invariants.hh"
 #include "fault/fault_plan.hh"
 #include "protocol/proto_config.hh"
+#include "transport/transport.hh"
 #include "workload/stress_patterns.hh"
 
 namespace cenju::fault
@@ -40,6 +41,13 @@ struct StressCase
 {
     unsigned nodes = 16;
     unsigned xbCapacity = 8;
+    /**
+     * Interconnect backend. Pinned to the multistage fabric by
+     * default — NOT defaultTransportKind() — so the committed golden
+     * digests (tests/golden/) certify the same fabric regardless of
+     * the CENJU_TRANSPORT environment.
+     */
+    TransportKind transport = TransportKind::Multistage;
     ProtoBug bug = ProtoBug::None;
     StressWorkload workload;
     FaultPlan plan;
@@ -49,6 +57,8 @@ struct StressCase
 struct StressOptions
 {
     unsigned nodes = 16;
+    /** Interconnect backend (multistage unless asked otherwise). */
+    TransportKind transport = TransportKind::Multistage;
     ProtoBug bug = ProtoBug::None;
     bool patternFixed = false; ///< use @ref pattern, don't draw one
     StressPattern pattern = StressPattern::SharingHeavy;
@@ -103,6 +113,16 @@ StressCase shrinkCase(const StressCase &failing,
 
 /** Text reproducer (replayed by tools/stress --replay-file). */
 std::string serializeCase(const StressCase &c);
+
+/**
+ * Apply one reproducer key (nodes, xbcap, transport, bug, pattern,
+ * blocks, ops, rounds, wseed) to @p c. Shared by parseCase and the
+ * tools' --set key=value overrides, so the override vocabulary is
+ * exactly the serialized-case vocabulary.
+ * @retval false with @p err set on an unknown key or bad value
+ */
+bool applyCaseKey(StressCase &c, const std::string &key,
+                  const std::string &value, std::string &err);
 
 /**
  * Parse a serializeCase reproducer.

@@ -21,7 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "network/packet.hh"
+#include "transport/packet.hh"
 #include "node/dsm_node.hh"
 #include "sim/hashing.hh"
 #include "sim/object_pool.hh"

@@ -8,6 +8,16 @@
  * computed pattern; every reply clears its own input bit; only the
  * reply that clears the last bit is forwarded. The real switch
  * dedicates 3.6% of its gates to a 1024-entry table.
+ *
+ * The table is a finite resource, so it is claimed through the same
+ * reserve/commit handshake as the crosspoint buffers: a gathered
+ * reply may only be reserved into a switch when its identifier's
+ * slot is free or already owned by the same gather (canReserve /
+ * reserveArrival). Identifiers larger than the table map onto slots
+ * modulo the size — exactly the aliasing a real fixed-size table
+ * would exhibit — and a slot held by a different in-flight gather
+ * exerts back-pressure on the upstream instead of corrupting the
+ * merge.
  */
 
 #ifndef CENJU_NETWORK_GATHER_TABLE_HH
@@ -21,11 +31,15 @@
 namespace cenju
 {
 
-/** Wait-pattern table indexed by gather identifier. */
+/** Wait-pattern table indexed by gather identifier modulo size. */
 class GatherTable
 {
   public:
-    explicit GatherTable(unsigned entries) : _entries(entries) {}
+    explicit GatherTable(unsigned entries) : _entries(entries)
+    {
+        if (entries == 0)
+            panic("gather table needs at least one entry");
+    }
 
     /** Outcome of absorbing one gathered reply. */
     enum class Result
@@ -33,6 +47,34 @@ class GatherTable
         Absorbed, ///< more replies expected; message removed
         Forward   ///< last reply: forward it and free the entry
     };
+
+    /**
+     * May a reply of gather @p id be reserved into this switch?
+     * True when the slot is free or mid-merge for the same id.
+     */
+    bool
+    canReserve(std::uint16_t id) const
+    {
+        const Entry &e = slot(id);
+        return !e.occupied() || e.owner == id;
+    }
+
+    /**
+     * Claim the slot for one in-flight reply of gather @p id. Must
+     * follow a successful canReserve; the claim is released by the
+     * matching absorb().
+     */
+    void
+    reserveArrival(std::uint16_t id)
+    {
+        Entry &e = slot(id);
+        if (!e.occupied())
+            e.owner = id;
+        else if (e.owner != id)
+            panic("gather %u: slot %u owned by gather %u", id,
+                  id % size(), e.owner);
+        ++e.pending;
+    }
 
     /**
      * Absorb a gathered reply arriving on @p in_port.
@@ -45,9 +87,10 @@ class GatherTable
     absorb(std::uint16_t id, unsigned in_port,
            std::uint8_t full_pattern)
     {
-        if (id >= _entries.size())
-            panic("gather id %u exceeds table size", id);
-        Entry &e = _entries[id];
+        Entry &e = slot(id);
+        if (e.owner != id || e.pending == 0)
+            panic("gather %u: arrival without reservation", id);
+        --e.pending;
         std::uint8_t bit = static_cast<std::uint8_t>(1u << in_port);
         if (!e.active) {
             if (!(full_pattern & bit)) {
@@ -68,11 +111,19 @@ class GatherTable
         return Result::Absorbed;
     }
 
+    /** True once every claim on @p id's slot has been released. */
+    bool
+    slotFree(std::uint16_t id) const
+    {
+        return !slot(id).occupied();
+    }
+
     /** True if the entry for @p id is mid-gather. */
     bool
     active(std::uint16_t id) const
     {
-        return id < _entries.size() && _entries[id].active;
+        const Entry &e = slot(id);
+        return e.active && e.owner == id;
     }
 
     /** Number of currently active entries (for tests/stats). */
@@ -90,9 +141,21 @@ class GatherTable
   private:
     struct Entry
     {
+        std::uint16_t owner = 0;   ///< full id holding the slot
+        std::uint16_t pending = 0; ///< reserved, not yet absorbed
         bool active = false;
         std::uint8_t waitPattern = 0;
+
+        /** Claimed by reservations or a live wait pattern. */
+        bool occupied() const { return active || pending != 0; }
     };
+
+    Entry &slot(std::uint16_t id) { return _entries[id % size()]; }
+    const Entry &
+    slot(std::uint16_t id) const
+    {
+        return _entries[id % size()];
+    }
 
     std::vector<Entry> _entries;
 };

@@ -44,9 +44,23 @@ struct NetConfig
     /** Output-port occupancy: per payload byte (ns). */
     double portOccupancyPerByte = 0.5;
 
-    /** Entries in each switch's gather table (paper: 1024; we
-     * default to 2048 so the update-protocol extension's gathers
-     * get their own id space above the homes'). */
+    /**
+     * Entries in each switch's gather table.
+     *
+     * Paper fidelity: the real Cenju-4 switch dedicates 3.6% of its
+     * gates to a 1024-entry table (section 3.2) — enough for one
+     * invalidation gather per home node at the maximum 1024-node
+     * configuration. We default to 2048 because the update-protocol
+     * extension (section 4.2.3, implemented here) allocates its
+     * gather ids in a second bank above the homes' (master.cc), so
+     * a faithful 1024-entry table would alias update gathers onto
+     * invalidation gathers at full scale. Set this to 1024 to model
+     * the shipped hardware without the extension. Undersizing is
+     * safe either way: ids map onto slots modulo the size, and a
+     * slot held by a different in-flight gather back-pressures the
+     * upstream (GatherTable::canReserve) rather than corrupting the
+     * merge — see tests/test_gather_exhaustion.cc.
+     */
     unsigned gatherTableEntries = 2048;
 };
 

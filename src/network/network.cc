@@ -62,21 +62,11 @@ Network::Network(EventQueue &eq, const NetConfig &cfg)
 Network::~Network() = default;
 
 void
-Network::attach(NodeId n, NetEndpoint *ep)
+Network::attach(NodeId n, Endpoint *ep)
 {
     if (n >= _cfg.numNodes)
         fatal("attach: node %u out of range", n);
     _endpoints[n] = ep;
-}
-
-const NodeSet &
-Network::decodedDest(const Packet &pkt) const
-{
-    if (!pkt.decodedDestValid) {
-        pkt.decodedDestCache = pkt.dest.decode(_cfg.numNodes);
-        pkt.decodedDestValid = true;
-    }
-    return pkt.decodedDestCache;
 }
 
 unsigned

@@ -21,54 +21,31 @@
 #include <memory>
 #include <vector>
 
-#include "check/hooks.hh"
-#include "fault/hooks.hh"
 #include "network/net_config.hh"
-#include "network/packet.hh"
 #include "network/topology.hh"
 #include "network/xbar_switch.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "transport/transport.hh"
 
 namespace cenju
 {
 
 /**
- * A node's attachment to the network (the controller chip's network
- * interface). Delivery uses a reserve/deliver pair so that finite
- * input buffers exert back-pressure into the network.
+ * One omega-network instance connecting up to 1024 nodes: the
+ * Transport backend that models the paper's fabric cycle-by-cycle
+ * (TransportKind::Multistage).
  */
-class NetEndpoint
-{
-  public:
-    virtual ~NetEndpoint() = default;
-
-    /**
-     * Claim input-buffer space for an incoming packet.
-     * @retval false if the endpoint cannot accept now; it must call
-     * Network::deliveryRetry() once space frees.
-     */
-    virtual bool reserveDelivery(const Packet &pkt) = 0;
-
-    /** Hand over a packet whose space was reserved. */
-    virtual void deliver(PacketPtr pkt) = 0;
-
-    /** A previously full injection queue has space again. */
-    virtual void injectSpaceAvailable() {}
-};
-
-/** One omega-network instance connecting up to 1024 nodes. */
-class Network
+class Network final : public Transport
 {
   public:
     Network(EventQueue &eq, const NetConfig &cfg);
-    ~Network();
+    ~Network() override;
 
-    Network(const Network &) = delete;
-    Network &operator=(const Network &) = delete;
+    const char *name() const override { return "multistage"; }
 
     /** Attach @p ep as node @p n's interface. */
-    void attach(NodeId n, NetEndpoint *ep);
+    void attach(NodeId n, Endpoint *ep) override;
 
     /**
      * Submit a packet for transmission from pkt->src.
@@ -76,38 +53,57 @@ class Network
      * packet is left untouched in @p pkt (so callers can retry) and
      * the endpoint is notified via injectSpaceAvailable() later.
      */
-    bool tryInject(PacketPtr &&pkt);
+    bool tryInject(PacketPtr &&pkt) override;
 
     /** Endpoint signals that refused deliveries can be retried. */
-    void deliveryRetry(NodeId n);
+    void deliveryRetry(NodeId n) override;
 
     const Topology &topology() const { return _topo; }
     const NetConfig &config() const { return _cfg; }
-    unsigned numNodes() const { return _cfg.numNodes; }
-    EventQueue &eventQueue() { return _eq; }
+    unsigned numNodes() const override { return _cfg.numNodes; }
+    EventQueue &eventQueue() override { return _eq; }
 
-    StatGroup &stats() { return _stats; }
-
-    /** Invariant hook observing deliveries (may be null). */
-    check::CheckHook *checkHook() const { return _checkHook; }
-    void setCheckHook(check::CheckHook *hook) { _checkHook = hook; }
-
-    /** Fault-injection hook (may be null; docs/TESTING.md). */
-    fault::FaultHook *faultHook() const { return _faultHook; }
-    void setFaultHook(fault::FaultHook *hook) { _faultHook = hook; }
+    StatGroup &stats() override { return _stats; }
 
     /**
      * A fault window squeezing node @p n's injection queue closed:
      * re-run the endpoint's space callback if it was refused while
      * the squeeze was active.
      */
-    void faultInjectRetry(NodeId n);
+    void faultInjectRetry(NodeId n) override;
+
+    unsigned
+    injectCapacity(NodeId n) const override
+    {
+        return effectiveInjectCapacity(n);
+    }
+
+    unsigned
+    injectBacklog(NodeId n) const override
+    {
+        return static_cast<unsigned>(_injectors[n].q.size());
+    }
+
+    FabricShape
+    fabricShape() const override
+    {
+        return {_topo.stages(), _topo.rowsPerStage()};
+    }
+
+    void
+    fabricKick(unsigned stage, unsigned row) override
+    {
+        switchAt(stage, row).faultKick();
+    }
 
     /** Packets accepted for transmission so far. */
-    std::uint64_t injectedCount() const { return _injected; }
+    std::uint64_t injectedCount() const override { return _injected; }
 
     /** Packets handed to endpoints so far. */
-    std::uint64_t deliveredCount() const { return _delivered; }
+    std::uint64_t deliveredCount() const override
+    {
+        return _delivered;
+    }
 
     // --- interface used by XbarSwitch -----------------------------
 
@@ -119,9 +115,6 @@ class Network
 
     /** Remember a final-stage output blocked on endpoint @p n. */
     void registerEjectWaiter(NodeId n, XbarSwitch *sw, unsigned out);
-
-    /** Decoded destination set of @p pkt (cached in the packet). */
-    const NodeSet &decodedDest(const Packet &pkt) const;
 
     Counter &multicastCopies() { return _multicastCopies; }
     Counter &gatherAbsorbed() { return _gatherAbsorbed; }
@@ -153,15 +146,12 @@ class Network
     Topology _topo;
     std::vector<std::unique_ptr<XbarSwitch>> _switches;
     std::vector<Injector> _injectors;
-    std::vector<NetEndpoint *> _endpoints;
+    std::vector<Endpoint *> _endpoints;
     std::vector<std::pair<XbarSwitch *, unsigned>> _ejectWaiters;
     std::vector<NodeId> _ejectWaiterNodes;
 
     /** Injection-queue capacity with any active fault squeeze. */
     unsigned effectiveInjectCapacity(NodeId n) const;
-
-    check::CheckHook *_checkHook = nullptr;
-    fault::FaultHook *_faultHook = nullptr;
 
     StatGroup _stats{"network"};
     Counter &_injectedCtr;

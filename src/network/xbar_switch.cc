@@ -74,8 +74,20 @@ XbarSwitch::reserve(unsigned in_port, const Packet &pkt)
         if (_xb[in_port][o].used() >= cap)
             return false;
     }
+    if (pkt.gathered && !_gather.canReserve(pkt.gatherId)) {
+        // The table slot is held by a different in-flight gather
+        // (identifier aliasing on an undersized table): exert
+        // back-pressure instead of corrupting the merge. The
+        // upstream retries through its input-space callback when
+        // the owning gather forwards.
+        _gatherBlocked = true;
+        ++_gatherBlockCount;
+        return false;
+    }
     for (unsigned o : outs)
         ++_xb[in_port][o].reserved;
+    if (pkt.gathered)
+        _gather.reserveArrival(pkt.gatherId);
     return true;
 }
 
@@ -88,7 +100,8 @@ XbarSwitch::commit(unsigned in_port, PacketPtr pkt)
         if (outs.size() != 1)
             panic("gathered packet with %zu targets", outs.size());
         std::uint8_t pattern = gatherWaitPattern(*pkt);
-        auto res = _gather.absorb(pkt->gatherId, in_port, pattern);
+        std::uint16_t gid = pkt->gatherId;
+        auto res = _gather.absorb(gid, in_port, pattern);
         if (res == GatherTable::Result::Absorbed) {
             ++_net.gatherAbsorbed();
             releaseReservation(in_port, outs);
@@ -102,6 +115,14 @@ XbarSwitch::commit(unsigned in_port, PacketPtr pkt)
                            p = std::move(pkt)]() mutable {
                               enqueue(in_port, out, std::move(p));
                           });
+        if (_gatherBlocked && _gather.slotFree(gid)) {
+            // A slot just freed while some upstream was blocked on
+            // table occupancy. Any input may have been the blocked
+            // one, so wake them all; they simply re-reserve.
+            _gatherBlocked = false;
+            for (unsigned in = 0; in < switchRadix; ++in)
+                inputSpaceFreed(in);
+        }
         return;
     }
 

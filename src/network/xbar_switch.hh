@@ -24,7 +24,7 @@
 
 #include "network/gather_table.hh"
 #include "network/net_config.hh"
-#include "network/packet.hh"
+#include "transport/packet.hh"
 #include "network/topology.hh"
 #include "sim/event_queue.hh"
 
@@ -49,8 +49,10 @@ class XbarSwitch
     /**
      * Phase 1 of a handoff: reserve crosspoint buffer space for
      * @p pkt arriving on @p in_port. For a multicast this reserves a
-     * slot in every covered output's buffer, all or nothing.
-     * @retval false if any needed buffer is full; the upstream must
+     * slot in every covered output's buffer, all or nothing; a
+     * gathered reply additionally claims its gather-table slot.
+     * @retval false if any needed buffer is full or the gather
+     * table slot is held by a different gather; the upstream must
      * wait for its input-space callback.
      */
     bool reserve(unsigned in_port, const Packet &pkt);
@@ -99,6 +101,9 @@ class XbarSwitch
 
     const GatherTable &gatherTable() const { return _gather; }
 
+    /** Reserves refused on gather-table occupancy (for tests). */
+    std::uint64_t gatherBlockCount() const { return _gatherBlockCount; }
+
     /** Buffered + reserved packets in (in, out)'s buffer. */
     unsigned
     occupancy(unsigned in, unsigned out) const
@@ -139,6 +144,12 @@ class XbarSwitch
     Fifo _xb[switchRadix][switchRadix];
     std::array<bool, switchRadix> _busy{};
     std::array<bool, switchRadix> _blockedEject{};
+    /** Some reserve failed on gather-table occupancy (not buffer
+     * space); cleared by the wake when the owning gather forwards.
+     * Never set under a table sized for the live gather-id space,
+     * so the default configuration schedules no extra events. */
+    bool _gatherBlocked = false;
+    std::uint64_t _gatherBlockCount = 0;
     std::array<bool, switchRadix> _arbScheduled{};
     std::array<unsigned, switchRadix> _rr{};
 

@@ -3,7 +3,7 @@
 namespace cenju
 {
 
-DsmNode::DsmNode(EventQueue &eq, Network &net, NodeId id,
+DsmNode::DsmNode(EventQueue &eq, Transport &net, NodeId id,
                  const ProtocolConfig &cfg)
     : _eq(eq), _net(net), _id(id), _cfg(cfg),
       _cache(cfg.cacheBytes, cfg.cacheAssoc), _master(*this),

@@ -23,7 +23,7 @@
 #include "memory/address_map.hh"
 #include "memory/main_memory.hh"
 #include "memory/msg_queue.hh"
-#include "network/network.hh"
+#include "transport/transport.hh"
 #include "protocol/cache.hh"
 #include "protocol/home.hh"
 #include "protocol/master.hh"
@@ -35,11 +35,11 @@
 namespace cenju
 {
 
-/** A complete node attached to the network. */
-class DsmNode : public NetEndpoint
+/** A complete node attached to the transport. */
+class DsmNode : public Endpoint
 {
   public:
-    DsmNode(EventQueue &eq, Network &net, NodeId id,
+    DsmNode(EventQueue &eq, Transport &net, NodeId id,
             const ProtocolConfig &cfg);
 
     DsmNode(const DsmNode &) = delete;
@@ -48,7 +48,7 @@ class DsmNode : public NetEndpoint
     NodeId id() const { return _id; }
     unsigned numNodes() const { return _net.numNodes(); }
     EventQueue &eq() { return _eq; }
-    Network &net() { return _net; }
+    Transport &transport() { return _net; }
     const ProtocolConfig &cfg() const { return _cfg; }
     const TimingParams &timing() const { return _cfg.timing; }
 
@@ -90,14 +90,14 @@ class DsmNode : public NetEndpoint
         return _homeOutMem.highWater();
     }
 
-    // --- NetEndpoint ----------------------------------------------
+    // --- Endpoint -------------------------------------------------
 
     bool reserveDelivery(const Packet &pkt) override;
     void deliver(PacketPtr pkt) override;
     void injectSpaceAvailable() override;
 
     /** A module freed input-buffer space (ablation back-pressure:
-     * lets the network retry refused deliveries). */
+     * lets the transport retry refused deliveries). */
     void inputSpaceFreed();
 
     /** Total protocol messages this node has emitted. */
@@ -147,7 +147,7 @@ class DsmNode : public NetEndpoint
     void pumpOutput();
 
     EventQueue &_eq;
-    Network &_net;
+    Transport &_net;
     NodeId _id;
     ProtocolConfig _cfg;
 
@@ -160,8 +160,8 @@ class DsmNode : public NetEndpoint
     SlaveModule _slave;
 
     // Output side: three source queues round-robin-pumped into the
-    // network's injection queue.
-    // Held as PacketPtr so handing off to Network::tryInject never
+    // transport's injection queue.
+    // Held as PacketPtr so handing off to Transport::tryInject never
     // goes through a destroying temporary conversion.
     std::deque<PacketPtr> _masterOut;
     PacketPtr _slaveOut; ///< single register

@@ -16,7 +16,7 @@
 #include <memory>
 
 #include "memory/main_memory.hh"
-#include "network/packet.hh"
+#include "transport/packet.hh"
 #include "sim/object_pool.hh"
 #include "sim/types.hh"
 

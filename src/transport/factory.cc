@@ -1,0 +1,26 @@
+#include "transport/factory.hh"
+
+#include "sim/logging.hh"
+#include "transport/multistage.hh"
+#include "transport/software.hh"
+
+namespace cenju
+{
+
+std::unique_ptr<Transport>
+makeTransport(TransportKind kind, EventQueue &eq,
+              const NetConfig &cfg)
+{
+    switch (kind) {
+      case TransportKind::Multistage:
+        return std::make_unique<MultistageTransport>(eq, cfg);
+      case TransportKind::Ideal:
+        return std::make_unique<IdealTransport>(eq, cfg);
+      case TransportKind::Direct:
+        return std::make_unique<DirectTransport>(eq, cfg);
+    }
+    panic("unknown transport kind %u",
+          static_cast<unsigned>(kind));
+}
+
+} // namespace cenju

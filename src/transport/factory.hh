@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Construction of Transport backends by kind.
+ */
+
+#ifndef CENJU_TRANSPORT_FACTORY_HH
+#define CENJU_TRANSPORT_FACTORY_HH
+
+#include <memory>
+
+#include "network/net_config.hh"
+#include "transport/transport.hh"
+
+namespace cenju
+{
+
+class EventQueue;
+
+/**
+ * Build a @p kind backend over @p cfg. All backends consume the same
+ * NetConfig: the analytical ones derive their fixed pipe latency
+ * from the same stage/inject/eject latencies the multistage fabric
+ * charges hop by hop.
+ */
+std::unique_ptr<Transport> makeTransport(TransportKind kind,
+                                         EventQueue &eq,
+                                         const NetConfig &cfg);
+
+} // namespace cenju
+
+#endif // CENJU_TRANSPORT_FACTORY_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The multistage interconnection network as a Transport backend.
+ *
+ * The backend itself lives in src/network/ — switches, crosspoint
+ * buffers, gather tables, topology — and `Network` implements the
+ * Transport interface directly (TransportKind::Multistage). This
+ * header exists so transport-level code can name the backend without
+ * spelling out the network layer's layout.
+ */
+
+#ifndef CENJU_TRANSPORT_MULTISTAGE_HH
+#define CENJU_TRANSPORT_MULTISTAGE_HH
+
+#include "network/network.hh"
+
+namespace cenju
+{
+
+/** The paper's crossbar fabric (section 2), cycle-accurate. */
+using MultistageTransport = Network;
+
+} // namespace cenju
+
+#endif // CENJU_TRANSPORT_MULTISTAGE_HH

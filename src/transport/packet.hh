@@ -1,15 +1,18 @@
 /**
  * @file
- * Network packet base class and multicast destination specification.
+ * Transport packet base class and multicast destination
+ * specification (backend-independent wire format).
  *
  * The destination of a multicast is specified with the same pointer
  * or bit-pattern structures as the directory node map (paper section
- * 3.2): making the two coincide guarantees the network delivers to
- * exactly the represented set, never more.
+ * 3.2): making the two coincide guarantees the transport delivers to
+ * exactly the represented set, never more. Every Transport backend
+ * consumes the same header fields; subsystems (coherence protocol,
+ * message passing) subclass Packet with their payloads.
  */
 
-#ifndef CENJU_NETWORK_PACKET_HH
-#define CENJU_NETWORK_PACKET_HH
+#ifndef CENJU_TRANSPORT_PACKET_HH
+#define CENJU_TRANSPORT_PACKET_HH
 
 #include <cstdint>
 #include <memory>
@@ -165,4 +168,4 @@ using PacketPtr = std::unique_ptr<Packet>;
 
 } // namespace cenju
 
-#endif // CENJU_NETWORK_PACKET_HH
+#endif // CENJU_TRANSPORT_PACKET_HH

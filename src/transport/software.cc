@@ -1,0 +1,256 @@
+#include "transport/software.hh"
+
+#include "network/topology.hh"
+#include "sim/logging.hh"
+
+namespace cenju
+{
+
+SoftwareTransport::SoftwareTransport(EventQueue &eq,
+                                     const NetConfig &cfg,
+                                     bool software_fanout,
+                                     bool serialize_eject,
+                                     const char *stat_name)
+    : _eq(eq), _cfg(cfg), _softwareFanout(software_fanout),
+      _serializeEject(serialize_eject),
+      _injectors(cfg.numNodes), _ports(cfg.numNodes),
+      _endpoints(cfg.numNodes, nullptr), _stats(stat_name),
+      _injectedCtr(_stats.counter("injected")),
+      _deliveredCtr(_stats.counter("delivered")),
+      _multicastCopies(_stats.counter("multicast_copies")),
+      _gatherAbsorbed(_stats.counter("gather_absorbed")),
+      _gatherForwarded(_stats.counter("gather_forwarded")),
+      _latency(_stats.sampleStat("latency_ns"))
+{
+    // Charge the multistage fabric's uncontended path so the two
+    // fabrics agree exactly when there is no contention (the Table 2
+    // unicast latencies): what remains is the contention + fanout
+    // cost this backend removes or restructures.
+    unsigned stages = _cfg.stages
+                          ? _cfg.stages
+                          : Topology::defaultStages(_cfg.numNodes);
+    _pipeLatency = _cfg.injectLatency +
+                   static_cast<Tick>(stages) * _cfg.stageLatency +
+                   _cfg.ejectLatency;
+}
+
+void
+SoftwareTransport::attach(NodeId n, Endpoint *ep)
+{
+    if (n >= _cfg.numNodes)
+        fatal("attach: node %u out of range", n);
+    _endpoints[n] = ep;
+}
+
+Tick
+SoftwareTransport::occupancyOf(const Packet &pkt) const
+{
+    return _cfg.portOccupancyHeader +
+           static_cast<Tick>(pkt.sizeBytes *
+                             _cfg.portOccupancyPerByte);
+}
+
+unsigned
+SoftwareTransport::effectiveInjectCapacity(NodeId n) const
+{
+    unsigned cap = _cfg.injectQueueCapacity;
+    if (_faultHook)
+        cap = _faultHook->injectQueueCapacity(n, cap);
+    return cap;
+}
+
+unsigned
+SoftwareTransport::injectCapacity(NodeId n) const
+{
+    return effectiveInjectCapacity(n);
+}
+
+void
+SoftwareTransport::faultInjectRetry(NodeId n)
+{
+    Injector &inj = _injectors[n];
+    if (inj.wasFull && inj.q.size() < effectiveInjectCapacity(n)) {
+        inj.wasFull = false;
+        if (_endpoints[n])
+            _endpoints[n]->injectSpaceAvailable();
+    }
+}
+
+bool
+SoftwareTransport::tryInject(PacketPtr &&pkt)
+{
+    NodeId n = pkt->src;
+    if (n >= _cfg.numNodes)
+        panic("inject from bad node %u", n);
+    Injector &inj = _injectors[n];
+    if (inj.q.size() >= effectiveInjectCapacity(n)) {
+        inj.wasFull = true;
+        return false;
+    }
+    pkt->injectTick = _eq.now();
+    pkt->packetId = _nextPacketId++;
+    ++_injectedCtr;
+    ++_injected;
+    inj.q.push_back(std::move(pkt));
+    pumpInjector(n);
+    return true;
+}
+
+void
+SoftwareTransport::pumpInjector(NodeId n)
+{
+    Injector &inj = _injectors[n];
+    while (!inj.busy) {
+        if (inj.fanout.empty()) {
+            if (inj.q.empty())
+                return;
+            PacketPtr pkt = std::move(inj.q.front());
+            inj.q.pop_front();
+            if (_softwareFanout &&
+                pkt->dest.kind() != DestSpec::Kind::Unicast) {
+                // Sender-side multicast loop: one point-to-point
+                // packet per member, each paying its own port
+                // occupancy below.
+                const NodeSet &dsts = decodedDest(*pkt);
+                unsigned members = dsts.count();
+                if (members > 1)
+                    _multicastCopies += members - 1;
+                dsts.forEach([&inj, &pkt](NodeId t) {
+                    PacketPtr c = pkt->clone();
+                    c->dest = DestSpec::unicast(t);
+                    c->decodedDestValid = false;
+                    inj.fanout.push_back(std::move(c));
+                });
+                continue; // members == 0: packet silently dropped
+            }
+            inj.fanout.push_back(std::move(pkt));
+        }
+        PacketPtr pkt = std::move(inj.fanout.front());
+        inj.fanout.pop_front();
+        sendOne(inj, n, std::move(pkt));
+    }
+}
+
+void
+SoftwareTransport::sendOne(Injector &inj, NodeId n, PacketPtr pkt)
+{
+    inj.busy = true;
+    Tick occ = occupancyOf(*pkt);
+
+    if (!_softwareFanout &&
+        pkt->dest.kind() != DestSpec::Kind::Unicast) {
+        // Hardware multicast without contention: one injection, the
+        // fabric replicates, all members receive simultaneously.
+        _eq.scheduleAfter(
+            _pipeLatency, [this, p = std::move(pkt)]() mutable {
+                const NodeSet &dsts = decodedDest(*p);
+                unsigned members = dsts.count();
+                if (members > 1)
+                    _multicastCopies += members - 1;
+                unsigned seen = 0;
+                dsts.forEach([&](NodeId t) {
+                    if (++seen == members)
+                        arrive(t, std::move(p));
+                    else
+                        arrive(t, p->clone());
+                });
+            });
+    } else {
+        NodeId dst = pkt->dest.unicastDest();
+        _eq.scheduleAfter(_pipeLatency,
+                          [this, dst,
+                           p = std::move(pkt)]() mutable {
+                              arrive(dst, std::move(p));
+                          });
+    }
+
+    _eq.scheduleAfter(
+        std::max(occ, _cfg.injectLatency), [this, n] {
+            Injector &i2 = _injectors[n];
+            i2.busy = false;
+            pumpInjector(n);
+            if (i2.wasFull &&
+                i2.q.size() < effectiveInjectCapacity(n)) {
+                i2.wasFull = false;
+                if (_endpoints[n])
+                    _endpoints[n]->injectSpaceAvailable();
+            }
+        });
+}
+
+void
+SoftwareTransport::arrive(NodeId dst, PacketPtr pkt)
+{
+    if (pkt->gathered) {
+        // Software reply merging at the destination: the same
+        // semantics the switch gather tables provide in-network,
+        // performed here so the protocol sees one merged reply on
+        // any backend.
+        if (!pkt->gatherGroup)
+            panic("gathered packet without a gather group");
+        auto key = static_cast<std::uint32_t>(dst) << 16 |
+                   pkt->gatherId;
+        auto it = _gathers.find(key);
+        if (it == _gathers.end()) {
+            unsigned expected = pkt->gatherGroup->count();
+            if (expected == 0)
+                panic("gather with an empty group");
+            it = _gathers.emplace(key, GatherMerge{expected}).first;
+        }
+        if (--it->second.remaining > 0) {
+            ++_gatherAbsorbed;
+            return;
+        }
+        _gathers.erase(it);
+        ++_gatherForwarded;
+    }
+    _ports[dst].q.push_back(std::move(pkt));
+    pumpDelivery(dst);
+}
+
+void
+SoftwareTransport::pumpDelivery(NodeId dst)
+{
+    DeliveryPort &port = _ports[dst];
+    if (port.pumping)
+        return;
+    port.pumping = true;
+    while (!port.q.empty() && !port.busy) {
+        if (_faultHook && _faultHook->deliveryHeld(dst))
+            break; // injector wakes us via deliveryRetry()
+        Endpoint *ep = _endpoints[dst];
+        if (!ep)
+            panic("deliver to unattached node %u", dst);
+        if (!ep->reserveDelivery(*port.q.front()))
+            break; // endpoint calls deliveryRetry() on free space
+        PacketPtr pkt = std::move(port.q.front());
+        port.q.pop_front();
+        Tick occ = occupancyOf(*pkt);
+        ++_deliveredCtr;
+        ++_delivered;
+        _latency.sample(
+            static_cast<double>(_eq.now() - pkt->injectTick));
+        ep->deliver(std::move(pkt));
+        if (_checkHook)
+            _checkHook->onStep(check::StepKind::NetworkDeliver,
+                               dst, 0);
+        if (_serializeEject) {
+            // Software reply counting is not free: the processor
+            // handles arrivals one at a time.
+            port.busy = true;
+            _eq.scheduleAfter(occ, [this, dst] {
+                _ports[dst].busy = false;
+                pumpDelivery(dst);
+            });
+        }
+    }
+    port.pumping = false;
+}
+
+void
+SoftwareTransport::deliveryRetry(NodeId n)
+{
+    pumpDelivery(n);
+}
+
+} // namespace cenju

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Analytical (non-switched) Transport backends.
+ *
+ * Both backends here model an interconnect as a fixed-latency pipe
+ * per message — injection queue, serializing source port, a single
+ * end-to-end latency equal to the multistage fabric's *uncontended*
+ * path (injectLatency + stages * stageLatency + ejectLatency), and
+ * a delivery queue per destination — without modelling any internal
+ * switch contention:
+ *
+ *  - IdealTransport keeps the fabric's hardware multicast and
+ *    gathering semantics (one injection covers the whole NodeSet,
+ *    sibling replies merge before delivery) but removes all
+ *    contention. It bounds every figure from below: whatever it
+ *    reports is the protocol-limited latency.
+ *
+ *  - DirectTransport is the paper's "without multicast/gathering"
+ *    baseline (Figure 10's upper curve): a multicast expands into a
+ *    sender-side loop of point-to-point packets, each paying its own
+ *    port occupancy, and gather replies arrive as N individual
+ *    messages that the destination counts in software — the receive
+ *    port serializes them, charging per-reply processing time.
+ *
+ * Both still honor the full Transport contract (back-pressure,
+ * check/fault hooks, per-source-destination ordering), so stress,
+ * modelcheck and the invariant engine run unchanged on top of them.
+ */
+
+#ifndef CENJU_TRANSPORT_SOFTWARE_HH
+#define CENJU_TRANSPORT_SOFTWARE_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "network/net_config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "transport/transport.hh"
+
+namespace cenju
+{
+
+/** Shared machinery of the analytical backends. */
+class SoftwareTransport : public Transport
+{
+  public:
+    unsigned numNodes() const override { return _cfg.numNodes; }
+    EventQueue &eventQueue() override { return _eq; }
+    StatGroup &stats() override { return _stats; }
+
+    const NetConfig &config() const { return _cfg; }
+
+    /** Uncontended end-to-end latency of one message. */
+    Tick pipeLatency() const { return _pipeLatency; }
+
+    void attach(NodeId n, Endpoint *ep) override;
+    bool tryInject(PacketPtr &&pkt) override;
+    void deliveryRetry(NodeId n) override;
+    void faultInjectRetry(NodeId n) override;
+
+    unsigned injectCapacity(NodeId n) const override;
+
+    unsigned
+    injectBacklog(NodeId n) const override
+    {
+        const Injector &inj = _injectors[n];
+        return static_cast<unsigned>(inj.q.size() +
+                                     inj.fanout.size());
+    }
+
+    std::uint64_t injectedCount() const override
+    {
+        return _injected;
+    }
+
+    std::uint64_t deliveredCount() const override
+    {
+        return _delivered;
+    }
+
+  protected:
+    /**
+     * @param software_fanout expand multicasts into serial unicasts
+     *        (DirectTransport) instead of delivering the whole set
+     *        from one injection (IdealTransport).
+     * @param serialize_eject charge per-packet software processing
+     *        time at the destination port (reply counting in
+     *        software) instead of accepting back-to-back arrivals.
+     */
+    SoftwareTransport(EventQueue &eq, const NetConfig &cfg,
+                      bool software_fanout, bool serialize_eject,
+                      const char *stat_name);
+
+  private:
+    /** Per-source injection queue and serializing port. */
+    struct Injector
+    {
+        std::deque<PacketPtr> q;
+        /** Unicast expansion of the multicast in flight (direct). */
+        std::deque<PacketPtr> fanout;
+        bool busy = false;
+        bool wasFull = false; ///< owner needs a space callback
+    };
+
+    /** Per-destination delivery queue and (optional) serializer. */
+    struct DeliveryPort
+    {
+        std::deque<PacketPtr> q;
+        bool busy = false;    ///< serialized processing in progress
+        bool pumping = false; ///< re-entrancy guard
+    };
+
+    /** In-progress software gather merge at one destination. */
+    struct GatherMerge
+    {
+        unsigned remaining = 0;
+    };
+
+    void pumpInjector(NodeId n);
+    void sendOne(Injector &inj, NodeId n, PacketPtr pkt);
+    void arrive(NodeId dst, PacketPtr pkt);
+    void pumpDelivery(NodeId dst);
+
+    Tick occupancyOf(const Packet &pkt) const;
+    unsigned effectiveInjectCapacity(NodeId n) const;
+
+    EventQueue &_eq;
+    NetConfig _cfg;
+    const bool _softwareFanout;
+    const bool _serializeEject;
+    Tick _pipeLatency;
+
+    std::vector<Injector> _injectors;
+    std::vector<DeliveryPort> _ports;
+    std::vector<Endpoint *> _endpoints;
+    /** Key: destination << 16 | gatherId. */
+    std::unordered_map<std::uint32_t, GatherMerge> _gathers;
+
+    StatGroup _stats;
+    Counter &_injectedCtr;
+    Counter &_deliveredCtr;
+    Counter &_multicastCopies;
+    Counter &_gatherAbsorbed;
+    Counter &_gatherForwarded;
+    SampleStat &_latency;
+    std::uint64_t _injected = 0;
+    std::uint64_t _delivered = 0;
+    std::uint64_t _nextPacketId = 1;
+};
+
+/**
+ * Zero-contention fabric with hardware multicast/gathering
+ * (TransportKind::Ideal): the protocol-limit lower bound.
+ */
+class IdealTransport final : public SoftwareTransport
+{
+  public:
+    IdealTransport(EventQueue &eq, const NetConfig &cfg)
+        : SoftwareTransport(eq, cfg, /*software_fanout=*/false,
+                            /*serialize_eject=*/false, "ideal")
+    {}
+
+    const char *name() const override { return "ideal"; }
+};
+
+/**
+ * Point-to-point-only interconnect (TransportKind::Direct): the
+ * paper's "without multicast/gathering" baseline. Multicasts become
+ * sender-side unicast loops; gather replies are counted in software
+ * at a serializing receive port.
+ */
+class DirectTransport final : public SoftwareTransport
+{
+  public:
+    DirectTransport(EventQueue &eq, const NetConfig &cfg)
+        : SoftwareTransport(eq, cfg, /*software_fanout=*/true,
+                            /*serialize_eject=*/true, "direct")
+    {}
+
+    const char *name() const override { return "direct"; }
+};
+
+} // namespace cenju
+
+#endif // CENJU_TRANSPORT_SOFTWARE_HH

@@ -37,6 +37,12 @@ stress(bool avoidance, unsigned nodes, unsigned rounds)
     SystemConfig cfg;
     cfg.numNodes = nodes;
     cfg.xbCapacity = 1;
+    // These tests exercise the interplay of section 3.4's memory
+    // queues with the *fabric's* ejection back-pressure — a
+    // multistage property. Pin the backend so the suite stays
+    // meaningful under the CI CENJU_TRANSPORT matrix (on the
+    // contention-free backends the saturation wedge cannot form).
+    cfg.transport = TransportKind::Multistage;
     cfg.proto.deadlockAvoidance = avoidance;
     cfg.proto.slaveHwBuffer = 1;
     cfg.proto.homeHwOutBuffer = 1;

@@ -17,6 +17,7 @@
 #include "core/dsm_system.hh"
 #include "memory/address_map.hh"
 #include "msgpass/msg_engine.hh"
+#include "network/network.hh"
 #include "node/dsm_node.hh"
 
 namespace cenju

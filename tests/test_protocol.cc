@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "memory/address_map.hh"
+#include "network/network.hh"
 #include "node/dsm_node.hh"
 #include "sim/rng.hh"
 

@@ -121,9 +121,15 @@ TEST(UpdateProtocol, StoreLatencyIsOneGatherRound)
 {
     // The update store costs one multicast + gathered-ack round —
     // the same scalable shape as Figure 10's invalidation round —
-    // independent of how many nodes cache the word.
+    // independent of how many nodes cache the word. The growth
+    // bound is a property of the fabric's in-network gathering, so
+    // pin the multistage backend (DirectTransport deliberately
+    // serializes the fanout and breaks it — that contrast is
+    // bench/fig10_store_latency's job to show).
     auto storeLat = [](unsigned nodes) {
-        DsmSystem sys(cfgOf(nodes));
+        SystemConfig cfg = cfgOf(nodes);
+        cfg.transport = TransportKind::Multistage;
+        DsmSystem sys(cfg);
         PrivArray x = sys.shmAllocReplicated(8);
         Tick t = 0;
         sys.run([&](Env &env) -> Task {

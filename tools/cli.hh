@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared command-line plumbing for the tools (modelcheck, stress,
+ * sweeprunner): one option-cursor class instead of three hand-rolled
+ * argv loops, plus the common option vocabulary — numeric values,
+ * transport-backend selection, and key=value overrides.
+ *
+ * Deliberately tiny and exit(2)-on-misuse: these are developer
+ * tools, so a missing value or a bad enum name prints what was
+ * wrong and stops, matching the behavior the three tools already
+ * had.
+ */
+
+#ifndef CENJU_TOOLS_CLI_HH
+#define CENJU_TOOLS_CLI_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "transport/transport.hh"
+
+namespace cenju::cli
+{
+
+/**
+ * Cursor over argv options. Typical loop:
+ * @code
+ * cli::OptionParser args(argc, argv);
+ * while (args.next()) {
+ *     if (args.is("--seeds"))
+ *         opt.seeds = args.u64();
+ *     else if (args.is("--verbose"))
+ *         opt.verbose = true;
+ *     else
+ *         return usage(argv[0]);
+ * }
+ * @endcode
+ */
+class OptionParser
+{
+  public:
+    /**
+     * @param first index of the first option (1 for a main() argv;
+     * 0 when the caller already shifted past a subcommand).
+     */
+    OptionParser(int argc, char **argv, int first = 1)
+        : _argc(argc), _argv(argv), _i(first - 1)
+    {}
+
+    /** Advance to the next option. @retval false when exhausted */
+    bool next() { return ++_i < _argc; }
+
+    /** The option the cursor is on. */
+    const char *arg() const { return _argv[_i]; }
+
+    /** Does the current option equal @p name? */
+    bool is(const char *name) const
+    {
+        return std::strcmp(_argv[_i], name) == 0;
+    }
+
+    /** Consume and return the current option's value argument. */
+    const char *
+    value()
+    {
+        if (_i + 1 >= _argc) {
+            std::fprintf(stderr, "%s needs a value\n", _argv[_i]);
+            std::exit(2);
+        }
+        return _argv[++_i];
+    }
+
+    /** value() as an unsigned 64-bit number. */
+    std::uint64_t
+    u64()
+    {
+        return std::strtoull(value(), nullptr, 10);
+    }
+
+    /** value() as an unsigned 32-bit number. */
+    unsigned
+    u32()
+    {
+        return unsigned(std::strtoul(value(), nullptr, 10));
+    }
+
+  private:
+    int _argc;
+    char **_argv;
+    int _i;
+};
+
+/** Usage line for tools accepting --transport. */
+inline constexpr const char *transportHelp =
+    "  --transport T    interconnect backend: multistage | ideal |"
+    " direct\n"
+    "                   (default multistage)\n";
+
+/** Consume a --transport value; exits(2) on an unknown backend. */
+inline TransportKind
+transportValue(OptionParser &args)
+{
+    const char *s = args.value();
+    TransportKind k;
+    if (!transportKindFromName(s, k)) {
+        std::fprintf(stderr,
+                     "unknown transport '%s' (multistage, ideal or "
+                     "direct)\n",
+                     s);
+        std::exit(2);
+    }
+    return k;
+}
+
+/**
+ * Split "key=value" into its parts.
+ * @retval false if there is no '=' or the key is empty
+ */
+inline bool
+splitKeyValue(const std::string &s, std::string &key,
+              std::string &value)
+{
+    auto eq = s.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    key = s.substr(0, eq);
+    value = s.substr(eq + 1);
+    return true;
+}
+
+} // namespace cenju::cli
+
+#endif // CENJU_TOOLS_CLI_HH

@@ -25,6 +25,7 @@
 
 #include "check/explorer.hh"
 #include "core/dsm_system.hh"
+#include "cli.hh"
 
 using namespace cenju;
 
@@ -116,28 +117,20 @@ main(int argc, char **argv)
     std::string trace_out;
     std::string replay;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n",
-                             a.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (a == "--nodes") {
-            opt.cfg.nodes = std::stoul(next());
-        } else if (a == "--blocks") {
-            opt.cfg.blocks = std::stoul(next());
-        } else if (a == "--concurrency") {
-            opt.concurrency = std::stoul(next());
-        } else if (a == "--depth") {
-            opt.maxDepth = std::stoul(next());
-        } else if (a == "--max-states") {
-            opt.maxStates = std::stoull(next());
-        } else if (a == "--protocol") {
-            std::string p = next();
+    cli::OptionParser args(argc, argv);
+    while (args.next()) {
+        if (args.is("--nodes")) {
+            opt.cfg.nodes = args.u32();
+        } else if (args.is("--blocks")) {
+            opt.cfg.blocks = args.u32();
+        } else if (args.is("--concurrency")) {
+            opt.concurrency = args.u32();
+        } else if (args.is("--depth")) {
+            opt.maxDepth = args.u32();
+        } else if (args.is("--max-states")) {
+            opt.maxStates = args.u64();
+        } else if (args.is("--protocol")) {
+            std::string p = args.value();
             if (p == "queuing") {
                 opt.cfg.protocol = ProtocolKind::Queuing;
             } else if (p == "nack") {
@@ -145,8 +138,8 @@ main(int argc, char **argv)
             } else {
                 return usage(argv[0]);
             }
-        } else if (a == "--bug") {
-            std::string b = next();
+        } else if (args.is("--bug")) {
+            std::string b = args.value();
             if (b == "none") {
                 opt.cfg.bug = ProtoBug::None;
             } else if (b == "skip-reservation") {
@@ -156,12 +149,12 @@ main(int argc, char **argv)
             } else {
                 return usage(argv[0]);
             }
-        } else if (a == "--all") {
+        } else if (args.is("--all")) {
             opt.stopAtFirstViolation = false;
-        } else if (a == "--trace-out") {
-            trace_out = next();
-        } else if (a == "--replay") {
-            replay = next();
+        } else if (args.is("--trace-out")) {
+            trace_out = args.value();
+        } else if (args.is("--replay")) {
+            replay = args.value();
         } else {
             return usage(argv[0]);
         }

@@ -23,6 +23,7 @@
 
 #include "fault/stress.hh"
 #include "sim/thread_pool.hh"
+#include "cli.hh"
 
 using namespace cenju;
 using namespace cenju::fault;
@@ -44,6 +45,11 @@ usage(const char *argv0)
         "                   producer-consumer | barrier-churn\n"
         "                   (default: drawn per seed)\n"
         "  --bug B          none | skip-reservation | drop-sharer\n"
+        "%s"
+        "  --set K=V        override a generated case field, using\n"
+        "                   the reproducer keys (nodes, xbcap,\n"
+        "                   transport, bug, pattern, blocks, ops,\n"
+        "                   rounds, wseed); repeatable\n"
         "  --budget N       per-run event budget (default %llu)\n"
         "  --replay S       run seed S twice, compare digests\n"
         "  --replay-file F  rerun a serialized reproducer\n"
@@ -52,7 +58,8 @@ usage(const char *argv0)
         "                   (default 1; 0 = hardware threads)\n"
         "  --expect-caught  exit 0 iff the sweep found a failure\n"
         "  --out FILE       write the minimal reproducer to FILE\n",
-        argv0, (unsigned long long)defaultEventBudget);
+        argv0, cli::transportHelp,
+        (unsigned long long)defaultEventBudget);
     return 2;
 }
 
@@ -96,8 +103,26 @@ struct Options
     bool expectCaught = false;
     unsigned jobs = 1;
     std::string outFile;
+    /** --set overrides, applied to every case after derivation. */
+    std::vector<std::pair<std::string, std::string>> overrides;
     StressOptions gen;
 };
+
+/** Derive the case for @p seed and apply the --set overrides. */
+StressCase
+caseFor(std::uint64_t seed, const Options &opt)
+{
+    StressCase c = makeStressCase(seed, opt.gen);
+    for (const auto &[key, value] : opt.overrides) {
+        std::string err;
+        if (!applyCaseKey(c, key, value, err)) {
+            std::fprintf(stderr, "--set %s=%s: %s\n", key.c_str(),
+                         value.c_str(), err.c_str());
+            std::exit(2);
+        }
+    }
+    return c;
+}
 
 /** Shrink, report, and optionally save a failing case. */
 void
@@ -134,7 +159,7 @@ handleFailure(std::uint64_t seed, const StressCase &c,
 int
 replaySeed(const Options &opt)
 {
-    StressCase c = makeStressCase(opt.seed, opt.gen);
+    StressCase c = caseFor(opt.seed, opt);
     StressResult a = runStressCase(c, opt.budget);
     StressResult b = runStressCase(c, opt.budget);
     printResult(opt.seed, c, a);
@@ -187,48 +212,49 @@ main(int argc, char **argv)
 {
     Options opt;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n",
-                             a.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (a == "--seeds") {
-            opt.seeds = std::stoull(next());
-        } else if (a == "--seed-base") {
-            opt.seedBase = std::stoull(next());
-        } else if (a == "--seed") {
+    cli::OptionParser args(argc, argv);
+    while (args.next()) {
+        if (args.is("--seeds")) {
+            opt.seeds = args.u64();
+        } else if (args.is("--seed-base")) {
+            opt.seedBase = args.u64();
+        } else if (args.is("--seed")) {
             opt.singleSeed = true;
-            opt.seed = std::stoull(next());
-        } else if (a == "--nodes") {
-            opt.gen.nodes = unsigned(std::stoul(next()));
-        } else if (a == "--pattern") {
+            opt.seed = args.u64();
+        } else if (args.is("--nodes")) {
+            opt.gen.nodes = args.u32();
+        } else if (args.is("--pattern")) {
             opt.gen.patternFixed = true;
-            if (!stressPatternFromName(next(), opt.gen.pattern))
+            if (!stressPatternFromName(args.value(),
+                                       opt.gen.pattern))
                 return usage(argv[0]);
-        } else if (a == "--bug") {
-            if (!protoBugFromName(next(), opt.gen.bug))
+        } else if (args.is("--bug")) {
+            if (!protoBugFromName(args.value(), opt.gen.bug))
                 return usage(argv[0]);
-        } else if (a == "--budget") {
-            opt.budget = std::stoull(next());
-        } else if (a == "--replay") {
+        } else if (args.is("--transport")) {
+            opt.gen.transport = cli::transportValue(args);
+        } else if (args.is("--set")) {
+            std::string key, value;
+            if (!cli::splitKeyValue(args.value(), key, value))
+                return usage(argv[0]);
+            opt.overrides.emplace_back(std::move(key),
+                                       std::move(value));
+        } else if (args.is("--budget")) {
+            opt.budget = args.u64();
+        } else if (args.is("--replay")) {
             opt.replay = true;
             opt.singleSeed = true;
-            opt.seed = std::stoull(next());
-        } else if (a == "--replay-file") {
-            opt.replayFile = next();
-        } else if (a == "--no-shrink") {
+            opt.seed = args.u64();
+        } else if (args.is("--replay-file")) {
+            opt.replayFile = args.value();
+        } else if (args.is("--no-shrink")) {
             opt.shrink = false;
-        } else if (a == "--jobs") {
-            opt.jobs = unsigned(std::stoul(next()));
-        } else if (a == "--expect-caught") {
+        } else if (args.is("--jobs")) {
+            opt.jobs = args.u32();
+        } else if (args.is("--expect-caught")) {
             opt.expectCaught = true;
-        } else if (a == "--out") {
-            opt.outFile = next();
+        } else if (args.is("--out")) {
+            opt.outFile = args.value();
         } else {
             return usage(argv[0]);
         }
@@ -245,7 +271,7 @@ main(int argc, char **argv)
         return replaySeed(opt);
 
     if (opt.singleSeed) {
-        StressCase c = makeStressCase(opt.seed, opt.gen);
+        StressCase c = caseFor(opt.seed, opt);
         StressResult r = runStressCase(c, opt.budget);
         printResult(opt.seed, c, r);
         if (r.failed())
@@ -255,10 +281,12 @@ main(int argc, char **argv)
         return r.failed() ? 1 : 0;
     }
 
-    std::printf("sweeping %llu seeds from %llu: nodes=%u bug=%s\n",
+    std::printf("sweeping %llu seeds from %llu: nodes=%u bug=%s "
+                "transport=%s\n",
                 (unsigned long long)opt.seeds,
                 (unsigned long long)opt.seedBase, opt.gen.nodes,
-                protoBugName(opt.gen.bug));
+                protoBugName(opt.gen.bug),
+                transportKindName(opt.gen.transport));
 
     // With --jobs != 1 the whole sweep runs up front on a worker
     // pool (each run is an independent single-threaded simulation);
@@ -270,8 +298,7 @@ main(int argc, char **argv)
         ThreadPool pool(opt.jobs);
         for (std::uint64_t i = 0; i < opt.seeds; ++i) {
             pool.submit([i, &opt, &sweep] {
-                StressCase c =
-                    makeStressCase(opt.seedBase + i, opt.gen);
+                StressCase c = caseFor(opt.seedBase + i, opt);
                 sweep[i] = runStressCase(c, opt.budget);
             });
         }
@@ -281,7 +308,7 @@ main(int argc, char **argv)
     std::uint64_t clean = 0;
     for (std::uint64_t i = 0; i < opt.seeds; ++i) {
         std::uint64_t seed = opt.seedBase + i;
-        StressCase c = makeStressCase(seed, opt.gen);
+        StressCase c = caseFor(seed, opt);
         StressResult r = sweep.empty()
                              ? runStressCase(c, opt.budget)
                              : std::move(sweep[i]);

@@ -32,6 +32,7 @@
 
 #include "fault/stress.hh"
 #include "sim/thread_pool.hh"
+#include "cli.hh"
 
 using namespace cenju;
 using namespace cenju::fault;
@@ -49,6 +50,7 @@ usage()
         "         --seeds S      seeds to sweep (default 50)\n"
         "         --seed-base B  first seed (default 1)\n"
         "         --budget N     per-run event budget\n"
+        "         --transport T  multistage | ideal | direct\n"
         "         --jobs J       worker threads (default: cores)\n"
         "         --golden FILE  compare digests against FILE\n"
         "         --out FILE     write digests to FILE\n"
@@ -78,32 +80,30 @@ runStressMode(int argc, char **argv)
     unsigned jobs = 0;
     std::string goldenFile, outFile;
 
-    for (int i = 0; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
-                std::exit(usage());
-            return argv[++i];
-        };
-        if (a == "--nodes")
-            nodes = std::strtoul(next(), nullptr, 10);
-        else if (a == "--seeds")
-            seeds = std::strtoull(next(), nullptr, 10);
-        else if (a == "--seed-base")
-            seedBase = std::strtoull(next(), nullptr, 10);
-        else if (a == "--budget")
-            budget = std::strtoull(next(), nullptr, 10);
-        else if (a == "--jobs")
-            jobs = std::strtoul(next(), nullptr, 10);
-        else if (a == "--golden")
-            goldenFile = next();
-        else if (a == "--out")
-            outFile = next();
+    StressOptions opts;
+
+    cli::OptionParser args(argc, argv, 0);
+    while (args.next()) {
+        if (args.is("--nodes"))
+            nodes = args.u32();
+        else if (args.is("--seeds"))
+            seeds = args.u64();
+        else if (args.is("--seed-base"))
+            seedBase = args.u64();
+        else if (args.is("--budget"))
+            budget = args.u64();
+        else if (args.is("--transport"))
+            opts.transport = cli::transportValue(args);
+        else if (args.is("--jobs"))
+            jobs = args.u32();
+        else if (args.is("--golden"))
+            goldenFile = args.value();
+        else if (args.is("--out"))
+            outFile = args.value();
         else
             return usage();
     }
 
-    StressOptions opts;
     opts.nodes = nodes;
 
     std::vector<SeedOutcome> results(seeds);
@@ -197,23 +197,18 @@ runBenchMode(int argc, char **argv)
     bool quick = false;
     std::string bindir = "bench", only, outFile;
 
-    for (int i = 0; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
-                std::exit(usage());
-            return argv[++i];
-        };
-        if (a == "--jobs")
-            jobs = std::strtoul(next(), nullptr, 10);
-        else if (a == "--quick")
+    cli::OptionParser args(argc, argv, 0);
+    while (args.next()) {
+        if (args.is("--jobs"))
+            jobs = args.u32();
+        else if (args.is("--quick"))
             quick = true;
-        else if (a == "--bindir")
-            bindir = next();
-        else if (a == "--only")
-            only = next();
-        else if (a == "--out")
-            outFile = next();
+        else if (args.is("--bindir"))
+            bindir = args.value();
+        else if (args.is("--only"))
+            only = args.value();
+        else if (args.is("--out"))
+            outFile = args.value();
         else
             return usage();
     }
