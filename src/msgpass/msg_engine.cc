@@ -17,7 +17,7 @@ MsgEngine::MsgEngine(DsmNode &node) : _node(node)
 void
 MsgEngine::send(NodeId dst, int tag,
                 std::vector<std::uint64_t> payload, unsigned bytes,
-                std::function<void()> done)
+                InlineFunction<void(), 40> done)
 {
     const TimingParams &tp = _node.timing();
     if (bytes == 0)

@@ -17,7 +17,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include "sim/inline_function.hh"
 #include <unordered_map>
 #include <vector>
 
@@ -54,8 +54,10 @@ class MsgPacket : public Packet, public Pooled<MsgPacket>
 class MsgEngine
 {
   public:
+    /** Inline storage sized like MasterModule's callbacks: the
+     * wrapped lambdas capture at most one 32-byte callable. */
     using RecvCallback =
-        std::function<void(std::vector<std::uint64_t>)>;
+        InlineFunction<void(std::vector<std::uint64_t>), 40>;
 
     explicit MsgEngine(DsmNode &node);
 
@@ -68,7 +70,7 @@ class MsgEngine
      */
     void send(NodeId dst, int tag,
               std::vector<std::uint64_t> payload, unsigned bytes,
-              std::function<void()> done);
+              InlineFunction<void(), 40> done);
 
     /**
      * Receive a message from @p src with @p tag; completes after

@@ -21,7 +21,7 @@
 #include <memory>
 #include <vector>
 
-#include "network/net_config.hh"
+#include "transport/net_config.hh"
 #include "network/topology.hh"
 #include "network/xbar_switch.hh"
 #include "sim/event_queue.hh"

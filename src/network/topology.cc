@@ -8,21 +8,9 @@ namespace cenju
 unsigned
 Topology::defaultStages(unsigned num_nodes)
 {
-    if (num_nodes < 1 || num_nodes > maxNodes)
-        fatal("unsupported system size %u", num_nodes);
-    if (num_nodes <= switchRadix)
-        return 1;
-    unsigned stages = 0;
-    unsigned cap = 1;
-    while (cap < num_nodes) {
-        cap *= switchRadix;
-        ++stages;
-    }
-    // Cenju-4 uses an even stage count on larger systems:
-    // 16 -> 2, 128 -> 4, 1024 -> 6 (Table 2).
-    if (stages % 2)
-        ++stages;
-    return stages;
+    // The stage rule is fabric geometry every backend shares; it
+    // lives with NetConfig behind the seam (transport/net_config.hh).
+    return NetConfig::defaultStages(num_nodes);
 }
 
 Topology::Topology(unsigned num_nodes, unsigned stages)

@@ -28,12 +28,10 @@
 
 #include "directory/node_set.hh"
 #include "sim/types.hh"
+#include "transport/net_config.hh"
 
 namespace cenju
 {
-
-/** Switch radix (4x4 crossbars). */
-constexpr unsigned switchRadix = 4;
 
 /** One hop of a route: which switch, entering and leaving where. */
 struct RouteHop

@@ -19,14 +19,14 @@
 
 #include <array>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "network/gather_table.hh"
-#include "network/net_config.hh"
-#include "transport/packet.hh"
 #include "network/topology.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
+#include "transport/net_config.hh"
+#include "transport/packet.hh"
 
 namespace cenju
 {
@@ -69,7 +69,7 @@ class XbarSwitch
      * fired whenever buffer space frees on that input.
      */
     void
-    onInputSpace(unsigned in_port, std::function<void()> cb)
+    onInputSpace(unsigned in_port, InlineFunction<void()> cb)
     {
         _spaceCallbacks[in_port] = std::move(cb);
     }
@@ -155,7 +155,8 @@ class XbarSwitch
 
     std::array<XbarSwitch *, switchRadix> _down{};
     std::array<unsigned, switchRadix> _downPort{};
-    std::array<std::function<void()>, switchRadix> _spaceCallbacks;
+    std::array<InlineFunction<void()>, switchRadix>
+        _spaceCallbacks;
 
     GatherTable _gather;
 };

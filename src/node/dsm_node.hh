@@ -30,6 +30,7 @@
 #include "protocol/proto_config.hh"
 #include "protocol/slave.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 #include "sim/stats.hh"
 
 namespace cenju
@@ -109,7 +110,7 @@ class DsmNode : public Endpoint
      * section 2). Such packets are always accepted.
      */
     void
-    setUserHandler(std::function<void(PacketPtr)> handler)
+    setUserHandler(InlineFunction<void(PacketPtr)> handler)
     {
         _userHandler = std::move(handler);
     }
@@ -173,7 +174,7 @@ class DsmNode : public Endpoint
     unsigned _slaveReserved = 0;
     unsigned _homeReserved = 0;
 
-    std::function<void(PacketPtr)> _userHandler;
+    InlineFunction<void(PacketPtr)> _userHandler;
     std::deque<PacketPtr> _userOut;
 
     check::CheckHook *_checkHook = nullptr;

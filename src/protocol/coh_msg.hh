@@ -134,6 +134,8 @@ class CohPacket : public Packet, public Pooled<CohPacket>
      */
     bool ackGathered = false;
     std::uint16_t ackGatherId = 0;
+    // cenju-lint: allow(A003): shared read-only by every sibling
+    // ack in one invalidation round (see Packet::gatherGroup).
     std::shared_ptr<const NodeSet> ackGatherGroup;
 
     /** Header size plus block payload if present. */

@@ -67,8 +67,11 @@ HomeModule::pendingAddrs() const
 {
     std::vector<Addr> addrs;
     addrs.reserve(_pending.size());
+    // cenju-lint: allow(D003): sorted below — callers see an
+    // order independent of the table's hash layout.
     for (const auto &[addr, op] : _pending)
         addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
     return addrs;
 }
 
@@ -380,6 +383,8 @@ HomeModule::startInvalidation(Addr addr, Tick t)
         decoded = p.decode(n);
     }
 
+    // cenju-lint: allow(A003): one allocation per invalidation
+    // round, shared read-only by every sibling ack it fans into.
     auto group = std::make_shared<const NodeSet>(decoded);
     auto inv = makeCohPacket(CohMsgType::Invalidate, _node.id(),
                              _node.id() /* overwritten below */,

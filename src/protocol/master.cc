@@ -76,7 +76,7 @@ MasterModule::load(Addr addr, LoadCallback done)
             line->data.w[(addr & (blockBytes - 1)) / 8];
         _node.eq().scheduleAfter(
             _node.timing().cacheHitLatency,
-            [done = std::move(done), v] { done(v); });
+            [done = std::move(done), v]() mutable { done(v); });
         return;
     }
     ++cacheMisses;
@@ -124,7 +124,7 @@ MasterModule::store(Addr addr, std::uint64_t value,
         _node.cache().touch(*line);
         _node.eq().scheduleAfter(
             _node.timing().cacheHitLatency,
-            [done = std::move(done)] { done(); });
+            [done = std::move(done)]() mutable { done(); });
         return;
     }
 
@@ -164,13 +164,13 @@ MasterModule::accessPrivate(Addr addr, bool is_store,
             line->data.w[(addr & (blockBytes - 1)) / 8] = value;
             _node.eq().scheduleAfter(
                 t.cacheHitLatency,
-                [sdone = std::move(sdone)] { sdone(); });
+                [sdone = std::move(sdone)]() mutable { sdone(); });
         } else {
             std::uint64_t v =
                 line->data.w[(addr & (blockBytes - 1)) / 8];
             _node.eq().scheduleAfter(
                 t.cacheHitLatency,
-                [ldone = std::move(ldone), v] { ldone(v); });
+                [ldone = std::move(ldone), v]() mutable { ldone(v); });
         }
         return;
     }
@@ -261,6 +261,8 @@ MasterModule::launchUpdate()
     BitPattern everyone;
     for (NodeId v = 0; v < n; ++v)
         everyone.add(v);
+    // cenju-lint: allow(A003): one allocation per update round,
+    // amortized over the full-machine fanout it is shared across.
     auto group = std::make_shared<const NodeSet>(
         everyone.decode(n));
 

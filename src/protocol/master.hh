@@ -17,7 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include "sim/inline_function.hh"
 #include <memory>
 #include <vector>
 
@@ -43,8 +43,15 @@ enum class AccessClass
 class MasterModule
 {
   public:
-    using LoadCallback = std::function<void(std::uint64_t)>;
-    using StoreCallback = std::function<void()>;
+    /**
+     * Completion callbacks are InlineFunction (docs/PERF.md): every
+     * simulated access graduates through one, so they must not heap-
+     * allocate. Capacity 40 keeps sizeof at 48, so a scheduled
+     * closure that captures one still fits the event queue's 64-byte
+     * inline window.
+     */
+    using LoadCallback = InlineFunction<void(std::uint64_t), 40>;
+    using StoreCallback = InlineFunction<void(), 40>;
 
     explicit MasterModule(DsmNode &node);
 

@@ -45,6 +45,8 @@ class InlineFunction<R(Args...), Capacity>
             _ops = opsFor<D>();
         } else {
             // Fallback: one heap box, still move-only.
+            // cenju-lint: allow(A005): this IS the documented
+            // oversize-capture fallback the pooling rules permit.
             ::new (storage()) D *(new D(std::forward<F>(f)));
             _ops = opsFor<D *>();
         }
@@ -131,6 +133,8 @@ class InlineFunction<R(Args...), Capacity>
             },
             [](void *p) noexcept {
                 if constexpr (std::is_pointer_v<T>)
+                    // cenju-lint: allow(A005): releases the
+                    // oversize-capture fallback box allocated above.
                     delete *static_cast<T *>(p);
                 else
                     static_cast<T *>(p)->~T();

@@ -8,7 +8,7 @@
 
 #include <memory>
 
-#include "network/net_config.hh"
+#include "transport/net_config.hh"
 #include "transport/transport.hh"
 
 namespace cenju

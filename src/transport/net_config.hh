@@ -1,17 +1,28 @@
 /**
  * @file
- * Network configuration parameters.
+ * Interconnect configuration parameters.
+ *
+ * Lives in transport/ (not network/) because every backend consumes
+ * it: the multistage fabric charges these latencies hop by hop, and
+ * the analytical backends derive their fixed pipe latency from the
+ * same stage/inject/eject numbers so all three agree bit-for-bit on
+ * uncontended paths (docs/ARCHITECTURE.md). The stage-count rule is
+ * fabric geometry shared the same way, so it lives here too.
  */
 
-#ifndef CENJU_NETWORK_NET_CONFIG_HH
-#define CENJU_NETWORK_NET_CONFIG_HH
+#ifndef CENJU_TRANSPORT_NET_CONFIG_HH
+#define CENJU_TRANSPORT_NET_CONFIG_HH
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace cenju
 {
 
-/** Static parameters of one network instance. */
+/** Switch radix (4x4 crossbars). */
+constexpr unsigned switchRadix = 4;
+
+/** Static parameters of one interconnect instance. */
 struct NetConfig
 {
     /** Real endpoints. */
@@ -62,8 +73,38 @@ struct NetConfig
      * merge — see tests/test_gather_exhaustion.cc.
      */
     unsigned gatherTableEntries = 2048;
+
+    /**
+     * Cenju-4 stage-count rule: enough radix-4 stages to address
+     * @p num_nodes, rounded up to even on larger systems —
+     * 16 -> 2, 128 -> 4, 1024 -> 6 (Table 2).
+     */
+    static unsigned
+    defaultStages(unsigned num_nodes)
+    {
+        if (num_nodes < 1 || num_nodes > maxNodes)
+            fatal("unsupported system size %u", num_nodes);
+        if (num_nodes <= switchRadix)
+            return 1;
+        unsigned s = 0;
+        unsigned cap = 1;
+        while (cap < num_nodes) {
+            cap *= switchRadix;
+            ++s;
+        }
+        if (s % 2)
+            ++s;
+        return s;
+    }
+
+    /** Configured stage count, with 0 resolved to the default. */
+    unsigned
+    effectiveStages() const
+    {
+        return stages ? stages : defaultStages(numNodes);
+    }
 };
 
 } // namespace cenju
 
-#endif // CENJU_NETWORK_NET_CONFIG_HH
+#endif // CENJU_TRANSPORT_NET_CONFIG_HH

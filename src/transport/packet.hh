@@ -145,6 +145,9 @@ class Packet
      * The full set of nodes replying to this gather; shared by all
      * sibling replies so switches can compute wait patterns.
      */
+    // cenju-lint: allow(A003): sibling gathered replies on
+    // different nodes share one immutable group set; ownership is
+    // genuinely shared and ends with the last in-flight sibling.
     std::shared_ptr<const NodeSet> gatherGroup;
 
     /** Set when injected; used for latency statistics. */

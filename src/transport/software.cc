@@ -1,6 +1,5 @@
 #include "transport/software.hh"
 
-#include "network/topology.hh"
 #include "sim/logging.hh"
 
 namespace cenju
@@ -26,11 +25,9 @@ SoftwareTransport::SoftwareTransport(EventQueue &eq,
     // fabrics agree exactly when there is no contention (the Table 2
     // unicast latencies): what remains is the contention + fanout
     // cost this backend removes or restructures.
-    unsigned stages = _cfg.stages
-                          ? _cfg.stages
-                          : Topology::defaultStages(_cfg.numNodes);
     _pipeLatency = _cfg.injectLatency +
-                   static_cast<Tick>(stages) * _cfg.stageLatency +
+                   static_cast<Tick>(_cfg.effectiveStages()) *
+                       _cfg.stageLatency +
                    _cfg.ejectLatency;
 }
 

@@ -34,9 +34,10 @@
 #include <unordered_map>
 #include <vector>
 
-#include "network/net_config.hh"
 #include "sim/event_queue.hh"
+#include "sim/hashing.hh"
 #include "sim/stats.hh"
+#include "transport/net_config.hh"
 #include "transport/transport.hh"
 
 namespace cenju
@@ -136,7 +137,8 @@ class SoftwareTransport : public Transport
     std::vector<DeliveryPort> _ports;
     std::vector<Endpoint *> _endpoints;
     /** Key: destination << 16 | gatherId. */
-    std::unordered_map<std::uint32_t, GatherMerge> _gathers;
+    std::unordered_map<std::uint32_t, GatherMerge, U64MixHash>
+        _gathers;
 
     StatGroup _stats;
     Counter &_injectedCtr;

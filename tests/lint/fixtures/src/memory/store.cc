@@ -1,0 +1,14 @@
+// Fixture: range-for over an unordered container declared in the
+// sibling header (store.hh) must still flag D003 here.
+#include "memory/store.hh"
+
+namespace cenju
+{
+int Store::sumLines() const
+{
+    int sum = 0;
+    for (const auto &[addr, count] : _lines) // line 10: D003
+        sum += count;
+    return sum;
+}
+} // namespace cenju

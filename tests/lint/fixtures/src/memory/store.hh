@@ -1,0 +1,18 @@
+// Fixture: sibling-stem D003 support. The unordered member is
+// declared here; store.cc iterates it. The declaration itself is
+// clean (it names U64MixHash); only the iteration flags.
+#ifndef FIXTURE_STORE_HH
+#define FIXTURE_STORE_HH
+#include "sim/hashing.hh"
+#include "sim/types.hh"
+#include <unordered_map>
+
+namespace cenju
+{
+struct Store
+{
+    int sumLines() const;
+    std::unordered_map<std::uint64_t, int, U64MixHash> _lines;
+};
+} // namespace cenju
+#endif

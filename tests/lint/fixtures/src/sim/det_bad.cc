@@ -1,0 +1,36 @@
+// Fixture: determinism rules (D001-D003) in a digest-affecting
+// module. One violation per marked line; test_lint.cc asserts the
+// exact (rule, line) pairs.
+#include "sim/hashing.hh"
+#include "sim/types.hh"
+#include <chrono>                          // line 6: D001
+#include <ctime>                           // line 7: D001
+#include <map>
+#include <random>                          // line 9: D001
+#include <set>
+#include <unordered_map>
+
+namespace cenju
+{
+struct DetSession;
+
+std::map<DetSession *, int> g_byPointer;   // line 17: D002
+std::set<const DetSession *> g_ptrSet;     // line 18: D002
+std::unordered_map<std::uint32_t, int, U64MixHash> g_stats;
+
+int detFixture()
+{
+    int seed = rand();                     // line 23: D001
+    std::srand(7);                         // line 24: D001
+    std::random_device dev;                // line 25: D001
+    std::mt19937 gen(dev());               // line 26: D001
+    long t = time(nullptr);                // line 27: D001
+    auto now = std::chrono::steady_clock::now(); // line 28: D001
+
+    int sum = seed + static_cast<int>(gen()) + static_cast<int>(t) +
+              static_cast<int>(now.time_since_epoch().count());
+    for (const auto &[key, value] : g_stats) // line 32: D003
+        sum += static_cast<int>(key) + value;
+    return sum;
+}
+} // namespace cenju

@@ -1,0 +1,29 @@
+// Fixture: clean counterpart to det_bad.cc — seeded Rng, value
+// keys, and sorted iteration. Must produce zero diagnostics.
+#include "sim/hashing.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace cenju
+{
+std::map<std::uint64_t, int> g_byId;
+std::unordered_map<std::uint32_t, int, U64MixHash> g_cleanStats;
+
+int detCleanFixture()
+{
+    Rng rng(0x5eedULL);
+    int sum = static_cast<int>(rng.next());
+    std::vector<std::uint32_t> keys;
+    for (std::uint32_t k = 0; k < 8; ++k)
+        if (g_cleanStats.count(k))
+            keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint32_t k : keys)
+        sum += g_cleanStats[k];
+    return sum;
+}
+} // namespace cenju

@@ -1,0 +1,28 @@
+// Fixture: allow() directive semantics. A justified exemption
+// suppresses (no diagnostic); a bare one suppresses nothing and is
+// X001; unknown rules are X001; stale exemptions are X002.
+#ifndef FIXTURE_EXEMPT_HH
+#define FIXTURE_EXEMPT_HH
+#include "sim/types.hh"
+#include <functional>
+#include <memory>
+
+namespace cenju
+{
+struct Exempt
+{
+    // cenju-lint: allow(A002): host-side fixture callback, invoked
+    // once at configure time, never on the simulated hot path.
+    std::function<void()> justified;
+
+    std::function<void()> bare; // cenju-lint: allow(A002)
+
+    // cenju-lint: allow(Z999): not a rule anyone has ever shipped.
+    std::shared_ptr<int> unknown;
+
+    // cenju-lint: allow(A001): nothing below calls malloc, so this
+    // exemption is stale and must be reported.
+    int stale = 0;
+};
+} // namespace cenju
+#endif

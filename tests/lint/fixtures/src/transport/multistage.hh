@@ -1,0 +1,6 @@
+// Fixture: clean counterpart to rogue_backend.cc — this path IS
+// the sanctioned multistage adapter, so the include stays silent.
+#ifndef FIXTURE_MULTISTAGE_HH
+#define FIXTURE_MULTISTAGE_HH
+#include "network/network.hh"
+#endif

@@ -1,0 +1,10 @@
+// Fixture: the transport -> network edge is file-scoped (L002):
+// only the multistage backend adapter may include network/ headers.
+// This file is not multistage.{hh,cc}, so line 4 must flag.
+#include "network/topology.hh"
+#include "transport/transport.hh"
+
+namespace cenju
+{
+void rogueFixture() {}
+} // namespace cenju

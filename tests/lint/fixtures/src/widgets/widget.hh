@@ -1,0 +1,6 @@
+// Fixture: src/widgets is not registered in the layering DAG, so
+// the whole file flags L003 on line 1 (register new directories in
+// tools/lint and docs/ANALYSIS.md before adding code).
+#ifndef FIXTURE_WIDGET_HH
+#define FIXTURE_WIDGET_HH
+#endif

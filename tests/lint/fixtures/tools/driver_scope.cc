@@ -1,0 +1,23 @@
+// Fixture: driver scope. Tools are outside the pool-governed and
+// digest-affecting sets, so std::function / plain unordered maps /
+// range-for over them stay silent here — but A001 (malloc family)
+// applies everywhere.
+#include <cstdlib>
+#include <functional>
+#include <unordered_map>
+
+namespace
+{
+std::function<int()> g_thunk;              // silent: drivers may use std::function
+std::unordered_map<unsigned, int> g_opts;  // silent: no U64MixHash required
+
+int driverFixture()
+{
+    int sum = 0;
+    for (const auto &[key, value] : g_opts) // silent: not digest-affecting
+        sum += static_cast<int>(key) + value;
+    void *p = malloc(16);                  // line 20: A001
+    free(p);                               // line 21: A001
+    return sum + (p != nullptr);
+}
+} // namespace
