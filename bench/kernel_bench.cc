@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "directory/bit_pattern.hh"
+#include "fault/stress.hh"
 #include "network/network.hh"
 #include "protocol/coh_msg.hh"
 #include "sim/event_queue.hh"
@@ -277,6 +278,48 @@ benchPacketAlloc(std::uint64_t total)
             made, s};
 }
 
+/**
+ * Whole-system stress throughput at 1024 nodes: one fixed seed on
+ * the ideal backend, run to the event budget. The seq/sh8 pair
+ * tracks the sharded engine's scaling (src/shard). Two effects
+ * compound: parallelism across hardware threads, and the
+ * single-thread wins inherent to sharding — eight shallow pending-
+ * event heaps instead of one 1024-node heap, and quiescent-only
+ * instead of per-step invariant checking (the documented sharded-
+ * run divergence) — so the ratio exceeds 1 even on a single-core
+ * host. Skipped under --quick — CI's perf-smoke job compares only
+ * names present in both runs, so the committed full-run numbers
+ * don't gate the quick run.
+ */
+Result
+benchStress1024(std::uint64_t budget, unsigned shards,
+                const char *name)
+{
+    fault::StressOptions opts;
+    opts.nodes = 1024;
+    opts.transport = TransportKind::Ideal;
+    fault::StressCase c = fault::makeStressCase(1, opts);
+    auto t0 = clk::now();
+    fault::StressResult r = fault::runStressCase(c, budget, shards);
+    double s = secondsSince(t0);
+    if (r.digest == 0)
+        std::fprintf(stderr, "impossible\n"); // keep run observable
+    return {name, "events_per_sec", double(r.events) / s, r.events,
+            s};
+}
+
+Result
+benchStress1024Seq(std::uint64_t budget)
+{
+    return benchStress1024(budget, 1, "stress_1024_seq");
+}
+
+Result
+benchStress1024Sh8(std::uint64_t budget)
+{
+    return benchStress1024(budget, 8, "stress_1024_sh8");
+}
+
 // --- JSON output and baseline comparison --------------------------
 
 void
@@ -393,6 +436,7 @@ main(int argc, char **argv)
         const char *name;
         Result (*fn)(std::uint64_t);
         std::uint64_t work;
+        bool quickSkip = false;
     };
     const Bench benches[] = {
         {"sched_ring", benchSchedRing, 1000000 * scale},
@@ -401,6 +445,8 @@ main(int argc, char **argv)
         {"multicast_decode", benchMulticastDecode,
          500000 * scale},
         {"packet_alloc", benchPacketAlloc, 1000000 * scale},
+        {"stress_1024_seq", benchStress1024Seq, 2000000, true},
+        {"stress_1024_sh8", benchStress1024Sh8, 2000000, true},
     };
 
     std::vector<Result> results;
@@ -409,10 +455,33 @@ main(int argc, char **argv)
     for (const Bench &b : benches) {
         if (!filter.empty() && filter != b.name)
             continue;
+        if (b.quickSkip && quick)
+            continue;
         Result r = b.fn(b.work);
         std::printf("%-18s %16s %14.0f %10.3f\n", r.name.c_str(),
                     r.metric.c_str(), r.value, r.seconds);
         results.push_back(std::move(r));
+    }
+
+    // Derived shard-scaling metric: events/sec ratio of the 8-shard
+    // run over sequential at 1024 nodes (bounded by the host's
+    // hardware threads; 1.0 means no parallel win).
+    {
+        const Result *seq = nullptr, *sh8 = nullptr;
+        for (const Result &r : results) {
+            if (r.name == "stress_1024_seq")
+                seq = &r;
+            else if (r.name == "stress_1024_sh8")
+                sh8 = &r;
+        }
+        if (seq && sh8 && seq->value > 0) {
+            Result ratio{"stress_1024_speedup", "x_seq",
+                         sh8->value / seq->value, 0, 0};
+            std::printf("%-18s %16s %14.2f %10s\n",
+                        ratio.name.c_str(), ratio.metric.c_str(),
+                        ratio.value, "-");
+            results.push_back(std::move(ratio));
+        }
     }
 
     if (!outFile.empty())

@@ -1,6 +1,7 @@
 #include "core/dsm_system.hh"
 
 #include "network/network.hh"
+#include "shard/sharded_engine.hh"
 #include "transport/factory.hh"
 
 namespace cenju
@@ -19,9 +20,30 @@ DsmSystem::DsmSystem(const SystemConfig &cfg) : _cfg(cfg)
     nc.gatherMergeLatency = cfg.proto.timing.gatherMergeLatency;
     _net = makeTransport(cfg.transport, _eq, nc);
 
+    unsigned shards = std::min(cfg.shards ? cfg.shards : 1u,
+                               cfg.numNodes);
+    if (shards > 1) {
+        Tick lookahead = _net->minCrossShardLatency();
+        if (lookahead == 0) {
+            warn("transport \"%s\" has no cross-shard latency "
+                 "floor; running with 1 shard",
+                 _net->name());
+        } else {
+            _sharded = std::make_unique<shard::ShardedEngine>(
+                shards, cfg.numNodes, lookahead);
+            if (!_net->bindShards(_sharded.get())) {
+                fatal("transport \"%s\" reports a sharding "
+                      "lookahead but refused bindShards()",
+                      _net->name());
+            }
+        }
+    }
+
     for (NodeId n = 0; n < cfg.numNodes; ++n) {
-        _nodes.push_back(
-            std::make_unique<DsmNode>(_eq, *_net, n, cfg.proto));
+        _nodes.push_back(std::make_unique<DsmNode>(
+            eqForNode(n), *_net, n, cfg.proto));
+        if (_sharded)
+            _nodes.back()->bindShard(_sharded->shardOf(n));
     }
     for (NodeId n = 0; n < cfg.numNodes; ++n)
         _engines.push_back(std::make_unique<MsgEngine>(*_nodes[n]));
@@ -35,18 +57,50 @@ DsmSystem::DsmSystem(const SystemConfig &cfg) : _cfg(cfg)
     _snapshots.resize(cfg.numNodes);
 
     if (cfg.proto.runtimeChecks) {
-        std::vector<DsmNode *> raw;
-        for (auto &n : _nodes)
-            raw.push_back(n.get());
-        _checker = std::make_unique<check::RuntimeChecker>(
-            std::move(raw), check::RuntimeChecker::OnViolation::Panic);
-        for (auto &n : _nodes)
-            n->setCheckHook(_checker.get());
-        _net->setCheckHook(_checker.get());
+        if (_sharded) {
+            // Per-step invariant checking reads state across all
+            // nodes, which a mid-window worker must not do; sharded
+            // harnesses check at quiescence instead
+            // (docs/TESTING.md).
+            warn("per-step runtime checks are unavailable on a "
+                 "sharded system; relying on quiescent checks");
+        } else {
+            std::vector<DsmNode *> raw;
+            for (auto &n : _nodes)
+                raw.push_back(n.get());
+            _checker = std::make_unique<check::RuntimeChecker>(
+                std::move(raw),
+                check::RuntimeChecker::OnViolation::Panic);
+            for (auto &n : _nodes)
+                n->setCheckHook(_checker.get());
+            _net->setCheckHook(_checker.get());
+        }
     }
 }
 
 DsmSystem::~DsmSystem() = default;
+
+EventQueue &
+DsmSystem::eqForNode(NodeId n)
+{
+    return _sharded ? _sharded->queueFor(n) : _eq;
+}
+
+void
+DsmSystem::scheduleOnNode(NodeId n, Tick delay,
+                          EventQueue::Callback cb)
+{
+    if (_sharded)
+        _sharded->scheduleRootOnNode(n, delay, std::move(cb));
+    else
+        _eq.scheduleAfter(delay, std::move(cb));
+}
+
+unsigned
+DsmSystem::effectiveShards() const
+{
+    return _sharded ? _sharded->numShards() : 1;
+}
 
 Network &
 DsmSystem::network()
@@ -157,7 +211,7 @@ DsmSystem::resetStats()
         e.commTime = 0;
         e.finishTick = 0;
     }
-    _runStartTick = _eq.now();
+    _runStartTick = eqForNode(0).now();
 }
 
 RunStats
@@ -194,6 +248,12 @@ DsmSystem::collectStats() const
 bool
 DsmSystem::replayTrace(const check::Trace &t)
 {
+    if (_sharded) {
+        // Trace ops are issued synchronously from the driver thread
+        // between event batches; wrapping them as root events would
+        // change the interleaving the counterexample certifies.
+        fatal("replayTrace requires a sequential (shards=1) system");
+    }
     if (t.cfg.nodes != _cfg.numNodes) {
         fatal("replayTrace: trace wants %u nodes, system has %u",
               t.cfg.nodes, _cfg.numNodes);
@@ -300,31 +360,43 @@ DsmSystem::runEach(
     tasks.reserve(_cfg.numNodes);
     for (NodeId n = 0; n < _cfg.numNodes; ++n) {
         tasks.push_back(programs[n](*_envs[n]));
-        tasks.back().setOnFinish(
-            [this, n] { _envs[n]->finishTick = _eq.now(); });
+        tasks.back().setOnFinish([this, n] {
+            _envs[n]->finishTick = eqForNode(n).now();
+        });
     }
 
     // Launch deterministically in node order.
     for (NodeId n = 0; n < _cfg.numNodes; ++n)
-        _eq.scheduleAfter(0, [&tasks, n] { tasks[n].start(); });
+        scheduleOnNode(n, 0, [&tasks, n] { tasks[n].start(); });
 
     // Drive to completion. Programs resume from event callbacks;
-    // when the queue drains every program must have finished, or
+    // when the queues drain every program must have finished, or
     // the workload is deadlocked (e.g. mismatched barriers).
-    for (;;) {
-        _eq.run();
-        bool all_done = true;
+    if (_sharded) {
+        while (!_sharded->drained())
+            _sharded->runWindow();
         for (NodeId n = 0; n < _cfg.numNodes; ++n) {
             if (!tasks[n].done()) {
-                all_done = false;
-                break;
+                fatal("workload deadlock: event queues drained "
+                      "with unfinished node programs");
             }
         }
-        if (all_done)
-            break;
-        if (_eq.empty()) {
-            fatal("workload deadlock: event queue drained with "
-                  "unfinished node programs");
+    } else {
+        for (;;) {
+            _eq.run();
+            bool all_done = true;
+            for (NodeId n = 0; n < _cfg.numNodes; ++n) {
+                if (!tasks[n].done()) {
+                    all_done = false;
+                    break;
+                }
+            }
+            if (all_done)
+                break;
+            if (_eq.empty()) {
+                fatal("workload deadlock: event queue drained with "
+                      "unfinished node programs");
+            }
         }
     }
 

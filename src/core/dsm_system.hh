@@ -43,6 +43,11 @@ namespace cenju
 
 class Network;
 
+namespace shard
+{
+class ShardedEngine;
+}
+
 /** Whole-system configuration. */
 struct SystemConfig
 {
@@ -61,6 +66,18 @@ struct SystemConfig
      * CENJU_TRANSPORT=multistage|ideal|direct.
      */
     TransportKind transport = defaultTransportKind();
+
+    /**
+     * Simulation shards (docs/ARCHITECTURE.md "Sharded parallel
+     * simulation"). 1 = classic sequential simulation on one event
+     * queue. N > 1 partitions the nodes into N contiguous blocks,
+     * each simulated on its own event queue in conservative windows
+     * on a host thread pool; results — including the golden step
+     * digests — are bit-identical to the sequential run. Clamped to
+     * numNodes, and silently back to 1 on backends that report no
+     * cross-shard latency floor (the multistage fabric).
+     */
+    unsigned shards = 1;
 
     /** Protocol, cache and timing parameters. */
     ProtocolConfig proto;
@@ -160,7 +177,30 @@ class DsmSystem
 
     // --- component access (benches, tests) -------------------------
 
+    /**
+     * The sequential event queue. Only meaningful on a 1-shard
+     * system; sharded systems drive per-shard queues through the
+     * engine and callers should use eqForNode()/scheduleOnNode().
+     */
     EventQueue &eq() { return _eq; }
+
+    /** Event queue node @p n's events run on (shard-aware). */
+    EventQueue &eqForNode(NodeId n);
+
+    /**
+     * Schedule a driver-side root event on node @p n's queue, @p
+     * delay ticks from now. On a sharded system root events are
+     * globally ordered by call order — call in exactly the order a
+     * sequential run would schedule them, before the run starts.
+     */
+    void scheduleOnNode(NodeId n, Tick delay,
+                        EventQueue::Callback cb);
+
+    /** Shards actually running (after clamping); 1 = sequential. */
+    unsigned effectiveShards() const;
+
+    /** The sharded engine, or nullptr on a sequential system. */
+    shard::ShardedEngine *shardedEngine() { return _sharded.get(); }
 
     /** The interconnect, whatever the configured backend. */
     Transport &transport() { return *_net; }
@@ -187,6 +227,8 @@ class DsmSystem
   private:
     SystemConfig _cfg;
     EventQueue _eq;
+    /** Set when cfg.shards clamps above 1 on a shardable backend. */
+    std::unique_ptr<shard::ShardedEngine> _sharded;
     std::unique_ptr<Transport> _net;
     std::vector<std::unique_ptr<DsmNode>> _nodes;
 

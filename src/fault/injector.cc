@@ -57,23 +57,51 @@ FaultInjector::clamp(const FaultEvent &e) const
     return c;
 }
 
+namespace
+{
+
+/** The node whose events apply a fault (its shard owns the state). */
+NodeId
+faultHome(const FaultEvent &e)
+{
+    switch (e.kind) {
+      case FaultKind::InjectSqueeze:
+      case FaultKind::DeliveryHold:
+      case FaultKind::OutputHold:
+      case FaultKind::HomeStall:
+      case FaultKind::GatherHold:
+        return e.node;
+      case FaultKind::XbSqueeze:
+      case FaultKind::SwitchStall:
+        // Fabric-wide faults only exist on the multistage backend,
+        // which never shards; pin them to node 0 (shard 0).
+        return 0;
+    }
+    return 0;
+}
+
+} // namespace
+
 void
 FaultInjector::arm(const FaultPlan &plan)
 {
-    EventQueue &eq = _sys.eq();
+    // scheduleOnNode puts each open/close on the shard owning the
+    // state it mutates; sequentially it is plain scheduleAfter, so
+    // the event order — and every golden digest — is unchanged.
     for (const FaultEvent &raw : plan.events) {
         FaultEvent e = clamp(raw);
-        eq.schedule(eq.now() + e.start, [this, e] { open(e); });
-        eq.schedule(eq.now() + e.start + e.duration,
-                    [this, e] { close(e); });
+        NodeId home = faultHome(e);
+        _sys.scheduleOnNode(home, e.start, [this, e] { open(e); });
+        _sys.scheduleOnNode(home, e.start + e.duration,
+                            [this, e] { close(e); });
     }
 }
 
 void
 FaultInjector::open(const FaultEvent &e)
 {
-    ++_active;
-    ++_opened;
+    _active.fetch_add(1, std::memory_order_relaxed);
+    _opened.fetch_add(1, std::memory_order_relaxed);
     switch (e.kind) {
       case FaultKind::InjectSqueeze:
         _injectSqueeze[e.node] += e.amount;
@@ -103,7 +131,7 @@ FaultInjector::open(const FaultEvent &e)
 void
 FaultInjector::close(const FaultEvent &e)
 {
-    --_active;
+    _active.fetch_sub(1, std::memory_order_relaxed);
     Transport &net = _sys.transport();
     switch (e.kind) {
       case FaultKind::InjectSqueeze:

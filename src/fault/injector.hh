@@ -16,6 +16,7 @@
 #ifndef CENJU_FAULT_INJECTOR_HH
 #define CENJU_FAULT_INJECTOR_HH
 
+#include <atomic>
 #include <vector>
 
 #include "fault/fault_plan.hh"
@@ -46,10 +47,18 @@ class FaultInjector : public FaultHook
     void arm(const FaultPlan &plan);
 
     /** Windows currently open. */
-    unsigned activeWindows() const { return _active; }
+    unsigned
+    activeWindows() const
+    {
+        return _active.load(std::memory_order_relaxed);
+    }
 
     /** Windows opened over the injector's lifetime. */
-    unsigned openedWindows() const { return _opened; }
+    unsigned
+    openedWindows() const
+    {
+        return _opened.load(std::memory_order_relaxed);
+    }
 
     // --- FaultHook -------------------------------------------------
 
@@ -77,13 +86,19 @@ class FaultInjector : public FaultHook
     unsigned _stages;
     unsigned _rows;
 
+    // Per-node window state is only touched from the owning node's
+    // events (arm() schedules opens/closes on the target node), so
+    // sharded runs need no synchronization here. The two global
+    // tallies below are the exception: windows on different shards
+    // bump them concurrently, hence relaxed atomics (they are
+    // counters, never synchronization).
     std::vector<unsigned> _injectSqueeze; ///< per node, summed
     std::vector<unsigned> _xbSqueeze;     ///< per (stage,row)
     std::vector<unsigned> _stallHolds;    ///< per (stage,row,port)
     std::vector<unsigned> _deliveryHolds; ///< per node, refcount
 
-    unsigned _active = 0;
-    unsigned _opened = 0;
+    std::atomic<unsigned> _active{0};
+    std::atomic<unsigned> _opened{0};
 };
 
 } // namespace fault

@@ -6,6 +6,7 @@
 #include "core/dsm_system.hh"
 #include "fault/injector.hh"
 #include "network/topology.hh"
+#include "shard/sharded_engine.hh"
 #include "sim/rng.hh"
 
 namespace cenju::fault
@@ -117,12 +118,14 @@ class DigestHook : public check::CheckHook
 } // namespace
 
 StressResult
-runStressCase(const StressCase &c, std::uint64_t eventBudget)
+runStressCase(const StressCase &c, std::uint64_t eventBudget,
+              unsigned shards)
 {
     SystemConfig cfg;
     cfg.numNodes = c.nodes;
     cfg.xbCapacity = c.xbCapacity;
     cfg.transport = c.transport;
+    cfg.shards = shards;
     cfg.proto.injectBug = c.bug;
     // The harness owns checking (Collect mode, so a violating run
     // finishes and can be shrunk); keep the system's Panic checker
@@ -130,6 +133,7 @@ runStressCase(const StressCase &c, std::uint64_t eventBudget)
     cfg.proto.runtimeChecks = false;
 
     DsmSystem sys(cfg);
+    shard::ShardedEngine *eng = sys.shardedEngine();
 
     std::vector<DsmNode *> raw;
     raw.reserve(c.nodes);
@@ -137,10 +141,17 @@ runStressCase(const StressCase &c, std::uint64_t eventBudget)
         raw.push_back(&sys.node(n));
     check::RuntimeChecker checker(
         raw, check::RuntimeChecker::OnViolation::Collect);
+    // Sequential runs digest through the forwarding hook (with
+    // per-step invariant checking inside); sharded runs record
+    // steps per shard and digest them in recovered global order at
+    // window barriers, checking invariants at quiescence only.
     DigestHook digest(&checker);
+    check::CheckHook *hook = eng ? eng->checkHook() : &digest;
     for (NodeId n = 0; n < c.nodes; ++n)
-        sys.node(n).setCheckHook(&digest);
-    sys.transport().setCheckHook(&digest);
+        sys.node(n).setCheckHook(hook);
+    sys.transport().setCheckHook(hook);
+    if (eng)
+        eng->setOrderLimit(eventBudget);
 
     FaultInjector injector(sys);
     injector.arm(c.plan);
@@ -154,29 +165,51 @@ runStressCase(const StressCase &c, std::uint64_t eventBudget)
     // (diagnose instead of fatal) and stop at the event budget.
     std::vector<Task> tasks;
     tasks.reserve(c.nodes);
-    for (NodeId n = 0; n < c.nodes; ++n)
+    for (NodeId n = 0; n < c.nodes; ++n) {
         tasks.push_back(program(sys.env(n)));
+        if (eng)
+            tasks.back().setOnFinish(
+                [eng] { eng->markTaskFinish(); });
+    }
     for (NodeId n = 0; n < c.nodes; ++n)
-        sys.eq().scheduleAfter(0, [&tasks, n] { tasks[n].start(); });
+        sys.scheduleOnNode(n, 0, [&tasks, n] { tasks[n].start(); });
 
     StressResult res;
-    std::uint64_t executed = 0;
-    for (;;) {
-        while (executed < eventBudget && sys.eq().runOne())
-            ++executed;
-        bool all_done = std::all_of(
-            tasks.begin(), tasks.end(),
-            [](const Task &t) { return t.done(); });
-        if (all_done) {
-            res.completed = true;
-            break;
+    if (eng) {
+        // Windows run whole; the engine attributes digest, steps
+        // and finishes only to events ordered within the budget, so
+        // the verdict matches the sequential budget cutoff.
+        while (!eng->drained() &&
+               eng->orderedEvents() < eventBudget)
+            eng->runWindow();
+        res.completed = eng->finishesWithinLimit() == c.nodes;
+        if (!res.completed)
+            res.budgetHit = eng->orderedEvents() >= eventBudget;
+        res.events = std::min(eng->orderedEvents(), eventBudget);
+        res.digest = eng->digest();
+        res.steps = eng->digestSteps();
+    } else {
+        std::uint64_t executed = 0;
+        for (;;) {
+            while (executed < eventBudget && sys.eq().runOne())
+                ++executed;
+            bool all_done = std::all_of(
+                tasks.begin(), tasks.end(),
+                [](const Task &t) { return t.done(); });
+            if (all_done) {
+                res.completed = true;
+                break;
+            }
+            if (executed >= eventBudget) {
+                res.budgetHit = true;
+                break;
+            }
+            if (sys.eq().empty())
+                break; // starved: programs pending, nothing queued
         }
-        if (executed >= eventBudget) {
-            res.budgetHit = true;
-            break;
-        }
-        if (sys.eq().empty())
-            break; // starved: programs pending, nothing scheduled
+        res.events = executed;
+        res.digest = digest.digest();
+        res.steps = digest.steps();
     }
 
     if (res.completed)
@@ -185,9 +218,6 @@ runStressCase(const StressCase &c, std::uint64_t eventBudget)
         res.stallDiagnosis = check::diagnoseStall(raw);
 
     res.violations = checker.violations();
-    res.digest = digest.digest();
-    res.steps = digest.steps();
-    res.events = executed;
     res.faultWindows = injector.openedWindows();
     return res;
 }

@@ -19,6 +19,7 @@ MsgEngine::send(NodeId dst, int tag,
                 std::vector<std::uint64_t> payload, unsigned bytes,
                 InlineFunction<void(), 40> done)
 {
+    shard::assertOnOwnerShard(_node.shard(), _node.id());
     const TimingParams &tp = _node.timing();
     if (bytes == 0)
         bytes = static_cast<unsigned>(payload.size() * 8);

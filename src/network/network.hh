@@ -63,6 +63,16 @@ class Network final : public Transport
     unsigned numNodes() const override { return _cfg.numNodes; }
     EventQueue &eventQueue() override { return _eq; }
 
+    /**
+     * The multistage fabric cannot be sharded: pumpInjector mutates
+     * stage-0 switch state synchronously with the injecting node, and
+     * ejection calls endpoints synchronously from switch arbitration,
+     * so there is no latency floor between one node's action and
+     * another node's state. Explicit 0 = "do not shard me"; a sharded
+     * SystemConfig falls back to one shard on this backend.
+     */
+    Tick minCrossShardLatency() const override { return 0; }
+
     StatGroup &stats() override { return _stats; }
 
     /**

@@ -196,6 +196,7 @@ DsmNode::pumpOutput()
 bool
 DsmNode::reserveDelivery(const Packet &pkt)
 {
+    shard::assertOnOwnerShard(_shard, _id);
     const auto *coh = dynamic_cast<const CohPacket *>(&pkt);
     if (!coh)
         return true; // user-level (message passing) traffic
@@ -247,6 +248,7 @@ DsmNode::sendUser(PacketPtr pkt)
 void
 DsmNode::deliver(PacketPtr pkt)
 {
+    shard::assertOnOwnerShard(_shard, _id);
     auto *coh = dynamic_cast<CohPacket *>(pkt.get());
     if (!coh) {
         if (!_userHandler) {

@@ -21,6 +21,7 @@
 
 #include "check/hooks.hh"
 #include "memory/address_map.hh"
+#include "shard/context.hh"
 #include "memory/main_memory.hh"
 #include "memory/msg_queue.hh"
 #include "transport/transport.hh"
@@ -48,6 +49,16 @@ class DsmNode : public Endpoint
 
     NodeId id() const { return _id; }
     unsigned numNodes() const { return _net.numNodes(); }
+
+    /**
+     * Declare which shard owns this node in a sharded run
+     * (DsmSystem does this at construction). Entry points then
+     * assert they execute on that shard's worker, so a transport
+     * bug that reaches across shards mid-window fails loudly
+     * instead of racing silently. Unsharded nodes assert nothing.
+     */
+    void bindShard(unsigned s) { _shard = s; }
+    unsigned shard() const { return _shard; }
     EventQueue &eq() { return _eq; }
     Transport &transport() { return _net; }
     const ProtocolConfig &cfg() const { return _cfg; }
@@ -150,6 +161,7 @@ class DsmNode : public Endpoint
     EventQueue &_eq;
     Transport &_net;
     NodeId _id;
+    unsigned _shard = shard::kNoShard; ///< owner in sharded runs
     ProtocolConfig _cfg;
 
     Cache _cache;

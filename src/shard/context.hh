@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Thread-local shard context for sharded simulation runs.
+ *
+ * When a machine is simulated across several EventQueues (see
+ * shard/sharded_engine.hh), each worker thread executes exactly one
+ * shard's events per window and announces which shard that is here.
+ * Node-owned state (src/node, src/msgpass) asserts against this so a
+ * backend bug that touches another shard's node mid-window fails
+ * loudly instead of racing silently. Outside sharded windows —
+ * sequential runs, the driver thread between windows — tlShard stays
+ * kNoShard and every assertion passes.
+ */
+
+#ifndef CENJU_SHARD_CONTEXT_HH
+#define CENJU_SHARD_CONTEXT_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cenju::shard
+{
+
+/** "No shard": sequential execution or the barrier/driver thread. */
+constexpr unsigned kNoShard = ~0u;
+
+/** Shard the current thread is executing a window for. */
+inline thread_local unsigned tlShard = kNoShard;
+
+/**
+ * Panic if node-owned state is being touched from a window worker of
+ * a different shard. Both sides unsharded (kNoShard) always pass.
+ */
+inline void
+assertOnOwnerShard(unsigned owner, NodeId node)
+{
+    if (owner != kNoShard && tlShard != kNoShard && owner != tlShard)
+        panic("node %u touched from shard %u (owner shard %u)",
+              node, tlShard, owner);
+}
+
+} // namespace cenju::shard
+
+#endif // CENJU_SHARD_CONTEXT_HH

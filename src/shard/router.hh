@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The shard router: the narrow interface a Transport backend needs
+ * to participate in sharded simulation (docs/ARCHITECTURE.md).
+ *
+ * A backend bound to a router (Transport::bindShards) must keep all
+ * of a node's fabric state — injection queue, delivery port, gather
+ * merges, statistics — on the node's owning shard, schedule
+ * node-local events on queueFor(node), and route anything that
+ * crosses shards through crossSchedule(), which parks the callback
+ * in a per-(destination, source) inbox lane until the next window
+ * barrier. The conservative-window contract makes that safe: a
+ * cross-shard effect is always at least minCrossShardLatency() ticks
+ * in the future, i.e. past the end of the current window.
+ */
+
+#ifndef CENJU_SHARD_ROUTER_HH
+#define CENJU_SHARD_ROUTER_HH
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace cenju::shard
+{
+
+/** Shard topology + cross-shard scheduling, as transports see it. */
+class Router
+{
+  public:
+    virtual ~Router() = default;
+
+    /** Number of shards the node space is partitioned into. */
+    virtual unsigned numShards() const = 0;
+
+    /** Owning shard of node @p n (contiguous blocks). */
+    virtual unsigned shardOf(NodeId n) const = 0;
+
+    /** Event queue of node @p n's owning shard. */
+    virtual EventQueue &queueFor(NodeId n) = 0;
+
+    /**
+     * Schedule @p cb at absolute tick @p when on @p dst's shard,
+     * from an event currently executing on @p src's shard.
+     * @pre when is past the current window's end (guaranteed when
+     *      when - now >= the backend's minCrossShardLatency())
+     */
+    virtual void crossSchedule(NodeId src, NodeId dst, Tick when,
+                               EventQueue::Callback cb) = 0;
+};
+
+} // namespace cenju::shard
+
+#endif // CENJU_SHARD_ROUTER_HH

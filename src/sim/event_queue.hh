@@ -16,6 +16,7 @@
 #ifndef CENJU_SIM_EVENT_QUEUE_HH
 #define CENJU_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -25,6 +26,30 @@
 
 namespace cenju
 {
+
+/**
+ * Observes one EventQueue's schedule/execute lifecycle, keyed by the
+ * callback slot (stable from onScheduled until the matching
+ * onExecuteBegin; slots are recycled after that). Used by the
+ * sharded engine (src/shard) to reconstruct the sequential global
+ * event order across per-shard queues; sequential runs never attach
+ * one, so the only cost on that path is a null-pointer test.
+ */
+class EventQueueObserver
+{
+  public:
+    virtual ~EventQueueObserver() = default;
+
+    /** A new event landed in slot @p slot for tick @p when. */
+    virtual void onScheduled(std::uint32_t slot, Tick when) = 0;
+
+    /** The event in @p slot is about to run (slot already freed —
+     * read any per-slot metadata before the callback schedules). */
+    virtual void onExecuteBegin(std::uint32_t slot, Tick when) = 0;
+
+    /** The running event's callback returned. */
+    virtual void onExecuteEnd() = 0;
+};
 
 /**
  * Time-ordered queue of callbacks; the heart of the simulator.
@@ -66,6 +91,8 @@ class EventQueue
         }
         _heap.push_back(Entry{when, _nextSeq++, slot});
         siftUp(_heap.size() - 1);
+        if (_observer)
+            _observer->onScheduled(slot, when);
     }
 
     /** Schedule @p cb to run @p delay ticks from now. */
@@ -105,7 +132,13 @@ class EventQueue
         _freeSlots.push_back(e.slot);
         _now = e.when;
         ++_executed;
-        cb();
+        if (_observer) {
+            _observer->onExecuteBegin(e.slot, e.when);
+            cb();
+            _observer->onExecuteEnd();
+        } else {
+            cb();
+        }
         return true;
     }
 
@@ -140,6 +173,44 @@ class EventQueue
 
     /** Total events executed since construction. */
     std::uint64_t executed() const { return _executed; }
+
+    /** Attach (or detach, nullptr) a lifecycle observer. */
+    void setObserver(EventQueueObserver *o) { _observer = o; }
+
+    // --- barrier support (src/shard window synchronization) --------
+
+    /** Visit every pending event as (slot, when). */
+    template <typename Fn>
+    void
+    forEachPending(Fn &&fn) const
+    {
+        for (const Entry &e : _heap)
+            fn(e.slot, e.when);
+    }
+
+    /**
+     * Re-establish the tie-break order of all pending events: sort
+     * by tick, breaking ties with @p slotLess over callback slots,
+     * and reassign dense insertion sequence numbers in that order.
+     * A sorted array satisfies the binary-heap invariant, so the
+     * result is a valid heap. The sharded engine calls this after a
+     * window barrier merges cross-shard arrivals, restoring the tie
+     * order the sequential run would have used.
+     */
+    template <typename SlotLess>
+    void
+    resortPending(SlotLess &&slotLess)
+    {
+        std::sort(_heap.begin(), _heap.end(),
+                  [&](const Entry &a, const Entry &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      return slotLess(a.slot, b.slot);
+                  });
+        for (std::size_t i = 0; i < _heap.size(); ++i)
+            _heap[i].seq = i;
+        _nextSeq = _heap.size();
+    }
 
   private:
     /** Heap record; the callback lives in _slots[slot]. */
@@ -204,6 +275,7 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
+    EventQueueObserver *_observer = nullptr;
 };
 
 } // namespace cenju

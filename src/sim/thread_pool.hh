@@ -15,6 +15,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -75,12 +76,23 @@ class ThreadPool
         _wake.notify_one();
     }
 
-    /** Block until every submitted job has finished. */
+    /**
+     * Block until every submitted job has finished. If any job threw,
+     * the first exception (in completion order) is rethrown here and
+     * cleared, so the pool stays usable for the next batch; the
+     * remaining jobs of the batch still ran to completion.
+     */
     void
     wait()
     {
         std::unique_lock<std::mutex> lk(_mu);
         _idle.wait(lk, [this] { return _outstanding == 0; });
+        if (_pendingError) {
+            std::exception_ptr e = _pendingError;
+            _pendingError = nullptr;
+            lk.unlock();
+            std::rethrow_exception(e);
+        }
     }
 
   private:
@@ -100,9 +112,16 @@ class ThreadPool
                 job = std::move(_jobs.front());
                 _jobs.pop_front();
             }
-            job();
+            std::exception_ptr error;
+            try {
+                job();
+            } catch (...) {
+                error = std::current_exception();
+            }
             {
                 std::lock_guard<std::mutex> lk(_mu);
+                if (error && !_pendingError)
+                    _pendingError = error;
                 if (--_outstanding == 0)
                     _idle.notify_all();
             }
@@ -115,6 +134,7 @@ class ThreadPool
     // cenju-lint: allow(A002): see submit() — host-side queue.
     std::deque<std::function<void()>> _jobs;
     std::size_t _outstanding = 0;
+    std::exception_ptr _pendingError;
     bool _stopping = false;
     std::vector<std::thread> _workers;
 };

@@ -1,5 +1,6 @@
 #include "transport/software.hh"
 
+#include "shard/router.hh"
 #include "sim/logging.hh"
 
 namespace cenju
@@ -29,6 +30,62 @@ SoftwareTransport::SoftwareTransport(EventQueue &eq,
                    static_cast<Tick>(_cfg.effectiveStages()) *
                        _cfg.stageLatency +
                    _cfg.ejectLatency;
+}
+
+bool
+SoftwareTransport::bindShards(shard::Router *router)
+{
+    if (!router)
+        panic("bindShards(nullptr)");
+    _router = router;
+    return true;
+}
+
+EventQueue &
+SoftwareTransport::queueOf(NodeId n)
+{
+    return _router ? _router->queueFor(n) : _eq;
+}
+
+Tick
+SoftwareTransport::nowOf(NodeId n)
+{
+    return queueOf(n).now();
+}
+
+StatGroup &
+SoftwareTransport::stats()
+{
+    // Hot paths keep statistics in per-node (per-shard-owned) state;
+    // fold them into the published group on demand.
+    _injectedCtr.reset();
+    _multicastCopies.reset();
+    std::uint64_t injected = 0;
+    std::uint64_t copies = 0;
+    for (const Injector &inj : _injectors) {
+        injected += inj.injected;
+        copies += inj.multicastCopies;
+    }
+    _injectedCtr += injected;
+    _multicastCopies += copies;
+
+    _deliveredCtr.reset();
+    _gatherAbsorbed.reset();
+    _gatherForwarded.reset();
+    _latency.reset();
+    std::uint64_t delivered = 0;
+    std::uint64_t absorbed = 0;
+    std::uint64_t forwarded = 0;
+    for (const DeliveryPort &p : _ports) {
+        delivered += p.delivered;
+        absorbed += p.gatherAbsorbed;
+        forwarded += p.gatherForwarded;
+        _latency.merge(p.latency);
+    }
+    _deliveredCtr += delivered;
+    _gatherAbsorbed += absorbed;
+    _gatherForwarded += forwarded;
+    return _stats;
 }
 
 void
@@ -84,10 +141,12 @@ SoftwareTransport::tryInject(PacketPtr &&pkt)
         inj.wasFull = true;
         return false;
     }
-    pkt->injectTick = _eq.now();
-    pkt->packetId = _nextPacketId++;
-    ++_injectedCtr;
-    ++_injected;
+    pkt->injectTick = nowOf(n);
+    // Per-source id sequence: unique machine-wide (source in the
+    // high bits) without any cross-shard coordination.
+    pkt->packetId = (static_cast<std::uint64_t>(n) << 40) |
+                    inj.nextPacketId++;
+    ++inj.injected;
     inj.q.push_back(std::move(pkt));
     pumpInjector(n);
     return true;
@@ -111,7 +170,7 @@ SoftwareTransport::pumpInjector(NodeId n)
                 const NodeSet &dsts = decodedDest(*pkt);
                 unsigned members = dsts.count();
                 if (members > 1)
-                    _multicastCopies += members - 1;
+                    inj.multicastCopies += members - 1;
                 dsts.forEach([&inj, &pkt](NodeId t) {
                     PacketPtr c = pkt->clone();
                     c->dest = DestSpec::unicast(t);
@@ -129,6 +188,20 @@ SoftwareTransport::pumpInjector(NodeId n)
 }
 
 void
+SoftwareTransport::routeArrival(NodeId src, NodeId dst, Tick when,
+                                PacketPtr pkt)
+{
+    EventQueue::Callback cb = [this, dst,
+                               p = std::move(pkt)]() mutable {
+        arrive(dst, std::move(p));
+    };
+    if (_router->shardOf(dst) == _router->shardOf(src))
+        _router->queueFor(src).schedule(when, std::move(cb));
+    else
+        _router->crossSchedule(src, dst, when, std::move(cb));
+}
+
+void
 SoftwareTransport::sendOne(Injector &inj, NodeId n, PacketPtr pkt)
 {
     inj.busy = true;
@@ -138,30 +211,53 @@ SoftwareTransport::sendOne(Injector &inj, NodeId n, PacketPtr pkt)
         pkt->dest.kind() != DestSpec::Kind::Unicast) {
         // Hardware multicast without contention: one injection, the
         // fabric replicates, all members receive simultaneously.
-        _eq.scheduleAfter(
-            _pipeLatency, [this, p = std::move(pkt)]() mutable {
-                const NodeSet &dsts = decodedDest(*p);
-                unsigned members = dsts.count();
-                if (members > 1)
-                    _multicastCopies += members - 1;
-                unsigned seen = 0;
-                dsts.forEach([&](NodeId t) {
-                    if (++seen == members)
-                        arrive(t, std::move(p));
-                    else
-                        arrive(t, p->clone());
-                });
+        const NodeSet &dsts = decodedDest(*pkt);
+        unsigned members = dsts.count();
+        if (members > 1)
+            inj.multicastCopies += members - 1;
+        if (_router) {
+            // Sharded: per-member arrival events so each member's
+            // delivery runs on its owning shard. Scheduled in
+            // NodeSet order from this one send, so the recovered
+            // global order — and with it the step digest — matches
+            // the sequential single-event fanout exactly.
+            Tick when = nowOf(n) + _pipeLatency;
+            unsigned seen = 0;
+            dsts.forEach([&](NodeId t) {
+                if (++seen == members)
+                    routeArrival(n, t, when, std::move(pkt));
+                else
+                    routeArrival(n, t, when, pkt->clone());
             });
+        } else {
+            _eq.scheduleAfter(
+                _pipeLatency, [this, p = std::move(pkt)]() mutable {
+                    const NodeSet &ds = decodedDest(*p);
+                    unsigned m = ds.count();
+                    unsigned seen = 0;
+                    ds.forEach([&](NodeId t) {
+                        if (++seen == m)
+                            arrive(t, std::move(p));
+                        else
+                            arrive(t, p->clone());
+                    });
+                });
+        }
     } else {
         NodeId dst = pkt->dest.unicastDest();
-        _eq.scheduleAfter(_pipeLatency,
-                          [this, dst,
-                           p = std::move(pkt)]() mutable {
-                              arrive(dst, std::move(p));
-                          });
+        if (_router) {
+            routeArrival(n, dst, nowOf(n) + _pipeLatency,
+                         std::move(pkt));
+        } else {
+            _eq.scheduleAfter(_pipeLatency,
+                              [this, dst,
+                               p = std::move(pkt)]() mutable {
+                                  arrive(dst, std::move(p));
+                              });
+        }
     }
 
-    _eq.scheduleAfter(
+    queueOf(n).scheduleAfter(
         std::max(occ, _cfg.injectLatency), [this, n] {
             Injector &i2 = _injectors[n];
             i2.busy = false;
@@ -178,6 +274,7 @@ SoftwareTransport::sendOne(Injector &inj, NodeId n, PacketPtr pkt)
 void
 SoftwareTransport::arrive(NodeId dst, PacketPtr pkt)
 {
+    DeliveryPort &port = _ports[dst];
     if (pkt->gathered) {
         // Software reply merging at the destination: the same
         // semantics the switch gather tables provide in-network,
@@ -185,23 +282,23 @@ SoftwareTransport::arrive(NodeId dst, PacketPtr pkt)
         // any backend.
         if (!pkt->gatherGroup)
             panic("gathered packet without a gather group");
-        auto key = static_cast<std::uint32_t>(dst) << 16 |
-                   pkt->gatherId;
-        auto it = _gathers.find(key);
-        if (it == _gathers.end()) {
+        std::uint32_t key = pkt->gatherId;
+        auto it = port.gathers.find(key);
+        if (it == port.gathers.end()) {
             unsigned expected = pkt->gatherGroup->count();
             if (expected == 0)
                 panic("gather with an empty group");
-            it = _gathers.emplace(key, GatherMerge{expected}).first;
+            it = port.gathers.emplace(key, GatherMerge{expected})
+                     .first;
         }
         if (--it->second.remaining > 0) {
-            ++_gatherAbsorbed;
+            ++port.gatherAbsorbed;
             return;
         }
-        _gathers.erase(it);
-        ++_gatherForwarded;
+        port.gathers.erase(it);
+        ++port.gatherForwarded;
     }
-    _ports[dst].q.push_back(std::move(pkt));
+    port.q.push_back(std::move(pkt));
     pumpDelivery(dst);
 }
 
@@ -223,10 +320,9 @@ SoftwareTransport::pumpDelivery(NodeId dst)
         PacketPtr pkt = std::move(port.q.front());
         port.q.pop_front();
         Tick occ = occupancyOf(*pkt);
-        ++_deliveredCtr;
-        ++_delivered;
-        _latency.sample(
-            static_cast<double>(_eq.now() - pkt->injectTick));
+        ++port.delivered;
+        port.latency.sample(
+            static_cast<double>(nowOf(dst) - pkt->injectTick));
         ep->deliver(std::move(pkt));
         if (_checkHook)
             _checkHook->onStep(check::StepKind::NetworkDeliver,
@@ -235,7 +331,7 @@ SoftwareTransport::pumpDelivery(NodeId dst)
             // Software reply counting is not free: the processor
             // handles arrivals one at a time.
             port.busy = true;
-            _eq.scheduleAfter(occ, [this, dst] {
+            queueOf(dst).scheduleAfter(occ, [this, dst] {
                 _ports[dst].busy = false;
                 pumpDelivery(dst);
             });

@@ -49,7 +49,9 @@ class SoftwareTransport : public Transport
   public:
     unsigned numNodes() const override { return _cfg.numNodes; }
     EventQueue &eventQueue() override { return _eq; }
-    StatGroup &stats() override { return _stats; }
+
+    /** Refreshes the group from per-node state, then returns it. */
+    StatGroup &stats() override;
 
     const NetConfig &config() const { return _cfg; }
 
@@ -60,6 +62,18 @@ class SoftwareTransport : public Transport
     bool tryInject(PacketPtr &&pkt) override;
     void deliveryRetry(NodeId n) override;
     void faultInjectRetry(NodeId n) override;
+
+    /**
+     * One message takes at least the uncontended pipe to become
+     * visible at another node, so the pipe latency is a valid
+     * conservative sharding lookahead.
+     */
+    Tick minCrossShardLatency() const override
+    {
+        return _pipeLatency;
+    }
+
+    bool bindShards(shard::Router *router) override;
 
     unsigned injectCapacity(NodeId n) const override;
 
@@ -73,12 +87,18 @@ class SoftwareTransport : public Transport
 
     std::uint64_t injectedCount() const override
     {
-        return _injected;
+        std::uint64_t sum = 0;
+        for (const Injector &inj : _injectors)
+            sum += inj.injected;
+        return sum;
     }
 
     std::uint64_t deliveredCount() const override
     {
-        return _delivered;
+        std::uint64_t sum = 0;
+        for (const DeliveryPort &p : _ports)
+            sum += p.delivered;
+        return sum;
     }
 
   protected:
@@ -95,7 +115,19 @@ class SoftwareTransport : public Transport
                       const char *stat_name);
 
   private:
-    /** Per-source injection queue and serializing port. */
+    /** In-progress software gather merge at one destination. */
+    struct GatherMerge
+    {
+        unsigned remaining = 0;
+    };
+
+    /**
+     * Per-source injection queue and serializing port. All mutable
+     * transmit-side state — including statistics and the packet-id
+     * sequence — lives here (not in transport-wide members) so that
+     * under sharding every field is only ever touched from the
+     * source node's owning shard.
+     */
     struct Injector
     {
         std::deque<PacketPtr> q;
@@ -103,26 +135,40 @@ class SoftwareTransport : public Transport
         std::deque<PacketPtr> fanout;
         bool busy = false;
         bool wasFull = false; ///< owner needs a space callback
+        std::uint64_t injected = 0;
+        std::uint64_t multicastCopies = 0;
+        std::uint64_t nextPacketId = 1;
     };
 
-    /** Per-destination delivery queue and (optional) serializer. */
+    /**
+     * Per-destination delivery queue and (optional) serializer.
+     * Receive-side statistics and gather merges live here for the
+     * same shard-ownership reason as Injector's.
+     */
     struct DeliveryPort
     {
         std::deque<PacketPtr> q;
         bool busy = false;    ///< serialized processing in progress
         bool pumping = false; ///< re-entrancy guard
-    };
-
-    /** In-progress software gather merge at one destination. */
-    struct GatherMerge
-    {
-        unsigned remaining = 0;
+        std::uint64_t delivered = 0;
+        std::uint64_t gatherAbsorbed = 0;
+        std::uint64_t gatherForwarded = 0;
+        SampleStat latency;
+        /** Key: gatherId (the map is already per-destination). */
+        std::unordered_map<std::uint32_t, GatherMerge, U64MixHash>
+            gathers;
     };
 
     void pumpInjector(NodeId n);
     void sendOne(Injector &inj, NodeId n, PacketPtr pkt);
     void arrive(NodeId dst, PacketPtr pkt);
     void pumpDelivery(NodeId dst);
+    void routeArrival(NodeId src, NodeId dst, Tick when,
+                      PacketPtr pkt);
+
+    /** Clock node @p n's events run on (shard-aware). */
+    EventQueue &queueOf(NodeId n);
+    Tick nowOf(NodeId n);
 
     Tick occupancyOf(const Packet &pkt) const;
     unsigned effectiveInjectCapacity(NodeId n) const;
@@ -132,13 +178,11 @@ class SoftwareTransport : public Transport
     const bool _softwareFanout;
     const bool _serializeEject;
     Tick _pipeLatency;
+    shard::Router *_router = nullptr;
 
     std::vector<Injector> _injectors;
     std::vector<DeliveryPort> _ports;
     std::vector<Endpoint *> _endpoints;
-    /** Key: destination << 16 | gatherId. */
-    std::unordered_map<std::uint32_t, GatherMerge, U64MixHash>
-        _gathers;
 
     StatGroup _stats;
     Counter &_injectedCtr;
@@ -147,9 +191,6 @@ class SoftwareTransport : public Transport
     Counter &_gatherAbsorbed;
     Counter &_gatherForwarded;
     SampleStat &_latency;
-    std::uint64_t _injected = 0;
-    std::uint64_t _delivered = 0;
-    std::uint64_t _nextPacketId = 1;
 };
 
 /**

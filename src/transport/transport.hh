@@ -48,6 +48,11 @@ namespace cenju
 class EventQueue;
 class StatGroup;
 
+namespace shard
+{
+class Router;
+}
+
 /**
  * A node's attachment to the transport (the controller chip's
  * network interface). Delivery uses a reserve/deliver pair so that
@@ -136,6 +141,32 @@ class Transport
             pkt.decodedDestValid = true;
         }
         return pkt.decodedDestCache;
+    }
+
+    // --- sharded simulation (src/shard, docs/ARCHITECTURE.md) -----
+
+    /**
+     * Minimum simulated latency between an injection at one node and
+     * any state change observable at a *different* node — the
+     * conservative lookahead a sharded run may use as its window
+     * length. Zero (the default) means the backend cannot bound
+     * cross-node effects and therefore cannot be sharded; the system
+     * falls back to one shard.
+     */
+    virtual Tick minCrossShardLatency() const { return 0; }
+
+    /**
+     * Bind the backend to a shard router: keep per-node fabric state
+     * on the owning shard, schedule node-local work on
+     * Router::queueFor(), and route cross-shard effects through
+     * Router::crossSchedule(). Called once, before any traffic.
+     * @retval false if the backend does not support sharding
+     */
+    virtual bool
+    bindShards(shard::Router *router)
+    {
+        (void)router;
+        return false;
     }
 
     // --- checking subsystem (src/check, docs/CHECKING.md) ---------

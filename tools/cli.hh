@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "transport/transport.hh"
 
@@ -112,6 +113,37 @@ transportValue(OptionParser &args)
         std::exit(2);
     }
     return k;
+}
+
+/**
+ * Resolve a --jobs request against --shards so the two compose:
+ * each sweep worker drives @p shards simulation threads of its own,
+ * and oversubscribing jobs x shards past the hardware threads only
+ * adds contention. 0 jobs means "use what the machine has left"
+ * (hardware / shards); an explicit jobs value is clamped with a
+ * warning when jobs x shards exceeds the hardware.
+ */
+inline unsigned
+clampJobs(unsigned jobs, unsigned shards)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    if (shards == 0)
+        shards = 1;
+    unsigned fit = hw / shards;
+    if (fit == 0)
+        fit = 1;
+    if (jobs == 0)
+        return fit;
+    if (jobs * shards > hw && jobs > fit) {
+        std::fprintf(stderr,
+                     "note: clamping --jobs %u to %u (%u shards x "
+                     "%u jobs > %u hardware threads)\n",
+                     jobs, fit, shards, jobs, hw);
+        return fit;
+    }
+    return jobs;
 }
 
 /**

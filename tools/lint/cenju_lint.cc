@@ -51,7 +51,7 @@ namespace fs = std::filesystem;
 namespace
 {
 
-constexpr const char *kCatalogVersion = "1";
+constexpr const char *kCatalogVersion = "2";
 
 // ---------------------------------------------------------------
 // Rule catalog
@@ -119,22 +119,25 @@ knownRule(const std::string &id)
  */
 const std::map<std::string, std::set<std::string>> kLayerDag = {
     {"sim", {}},
+    {"shard", {"sim", "check"}},
     {"directory", {"sim"}},
     {"memory", {"sim"}},
     {"exec", {"sim"}},
     {"network", {"sim", "directory", "transport"}},
-    {"transport", {"sim", "directory", "check", "fault"}},
+    {"transport", {"sim", "directory", "check", "fault",
+                   "shard"}},
     {"protocol", {"sim", "directory", "memory", "transport",
                   "node"}},
-    {"node", {"sim", "memory", "check", "transport", "protocol"}},
-    {"msgpass", {"sim", "transport", "node"}},
+    {"node", {"sim", "memory", "check", "transport", "protocol",
+              "shard"}},
+    {"msgpass", {"sim", "transport", "node", "shard"}},
     {"check", {"sim", "memory", "directory", "network", "transport",
                "node", "protocol"}},
     {"core", {"sim", "exec", "memory", "directory", "check",
               "transport", "network", "node", "protocol",
-              "msgpass"}},
+              "msgpass", "shard"}},
     {"fault", {"sim", "core", "check", "network", "protocol",
-               "transport", "workload"}},
+               "transport", "workload", "shard"}},
     {"workload", {"sim", "exec", "core"}},
 };
 
@@ -146,14 +149,15 @@ const std::set<std::string> kSeamFiles = {
 
 /** Modules whose hot paths must not allocate (docs/PERF.md). */
 const std::set<std::string> kPoolGoverned = {
-    "sim", "network", "transport", "protocol", "node", "msgpass",
-    "memory", "directory",
+    "sim", "shard", "network", "transport", "protocol", "node",
+    "msgpass", "memory", "directory",
 };
 
 /** Modules whose behavior feeds the golden digests. */
 const std::set<std::string> kDigestAffecting = {
-    "sim", "network", "transport", "protocol", "node", "msgpass",
-    "memory", "directory", "core", "check", "fault", "workload",
+    "sim", "shard", "network", "transport", "protocol", "node",
+    "msgpass", "memory", "directory", "core", "check", "fault",
+    "workload",
 };
 
 // ---------------------------------------------------------------

@@ -56,6 +56,9 @@ usage(const char *argv0)
         "  --no-shrink      skip minimization of a failing case\n"
         "  --jobs N         parallel workers for seed sweeps\n"
         "                   (default 1; 0 = hardware threads)\n"
+        "  --shards N       simulation shards per run (default 1;\n"
+        "                   digests are bit-identical across shard\n"
+        "                   counts, see docs/ARCHITECTURE.md)\n"
         "  --expect-caught  exit 0 iff the sweep found a failure\n"
         "  --out FILE       write the minimal reproducer to FILE\n",
         argv0, cli::transportHelp,
@@ -102,6 +105,7 @@ struct Options
     bool shrink = true;
     bool expectCaught = false;
     unsigned jobs = 1;
+    unsigned shards = 1;
     std::string outFile;
     /** --set overrides, applied to every case after derivation. */
     std::vector<std::pair<std::string, std::string>> overrides;
@@ -129,6 +133,9 @@ void
 handleFailure(std::uint64_t seed, const StressCase &c,
               const Options &opt)
 {
+    // Shrinking (and the minimal-case rerun) always executes
+    // sequentially: per-step invariant checks only exist there, so
+    // the verdicts driving the shrink stay maximally sensitive.
     StressCase minimal = c;
     if (opt.shrink) {
         ShrinkStats st;
@@ -160,8 +167,8 @@ int
 replaySeed(const Options &opt)
 {
     StressCase c = caseFor(opt.seed, opt);
-    StressResult a = runStressCase(c, opt.budget);
-    StressResult b = runStressCase(c, opt.budget);
+    StressResult a = runStressCase(c, opt.budget, opt.shards);
+    StressResult b = runStressCase(c, opt.budget, opt.shards);
     printResult(opt.seed, c, a);
     if (a.digest != b.digest || a.steps != b.steps ||
         a.events != b.events) {
@@ -200,7 +207,7 @@ replayFromFile(const Options &opt)
                      err.c_str());
         return 2;
     }
-    StressResult r = runStressCase(c, opt.budget);
+    StressResult r = runStressCase(c, opt.budget, opt.shards);
     printResult(0, c, r);
     return r.failed() ? 1 : 0;
 }
@@ -251,6 +258,10 @@ main(int argc, char **argv)
             opt.shrink = false;
         } else if (args.is("--jobs")) {
             opt.jobs = args.u32();
+        } else if (args.is("--shards")) {
+            opt.shards = args.u32();
+            if (opt.shards == 0)
+                opt.shards = 1;
         } else if (args.is("--expect-caught")) {
             opt.expectCaught = true;
         } else if (args.is("--out")) {
@@ -265,6 +276,23 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (opt.shards > 1 &&
+        opt.gen.transport == TransportKind::Multistage) {
+        // Clamp here (not per run) so a seed sweep warns once.
+        std::fprintf(stderr,
+                     "note: the multistage fabric has no "
+                     "cross-shard latency floor; running with 1 "
+                     "shard\n");
+        opt.shards = 1;
+    }
+    if (opt.shards > 1 && opt.gen.bug != ProtoBug::None)
+        std::fprintf(stderr,
+                     "note: sharded runs use quiescent-only "
+                     "checking; a --bug mutation that only trips "
+                     "per-step invariants may go uncaught\n");
+    if (opt.jobs != 1)
+        opt.jobs = cli::clampJobs(opt.jobs, opt.shards);
+
     if (!opt.replayFile.empty())
         return replayFromFile(opt);
     if (opt.replay)
@@ -272,7 +300,7 @@ main(int argc, char **argv)
 
     if (opt.singleSeed) {
         StressCase c = caseFor(opt.seed, opt);
-        StressResult r = runStressCase(c, opt.budget);
+        StressResult r = runStressCase(c, opt.budget, opt.shards);
         printResult(opt.seed, c, r);
         if (r.failed())
             handleFailure(opt.seed, c, opt);
@@ -299,7 +327,7 @@ main(int argc, char **argv)
         for (std::uint64_t i = 0; i < opt.seeds; ++i) {
             pool.submit([i, &opt, &sweep] {
                 StressCase c = caseFor(opt.seedBase + i, opt);
-                sweep[i] = runStressCase(c, opt.budget);
+                sweep[i] = runStressCase(c, opt.budget, opt.shards);
             });
         }
         pool.wait();
@@ -310,7 +338,8 @@ main(int argc, char **argv)
         std::uint64_t seed = opt.seedBase + i;
         StressCase c = caseFor(seed, opt);
         StressResult r = sweep.empty()
-                             ? runStressCase(c, opt.budget)
+                             ? runStressCase(c, opt.budget,
+                                             opt.shards)
                              : std::move(sweep[i]);
         if (!r.failed()) {
             ++clean;

@@ -52,6 +52,9 @@ usage()
         "         --budget N     per-run event budget\n"
         "         --transport T  multistage | ideal | direct\n"
         "         --jobs J       worker threads (default: cores)\n"
+        "         --shards N     simulation shards per run\n"
+        "                        (default 1; digests bit-identical\n"
+        "                        across shard counts)\n"
         "         --golden FILE  compare digests against FILE\n"
         "         --out FILE     write digests to FILE\n"
         "       sweeprunner bench [options]\n"
@@ -78,6 +81,7 @@ runStressMode(int argc, char **argv)
     std::uint64_t seeds = 50, seedBase = 1;
     std::uint64_t budget = defaultEventBudget;
     unsigned jobs = 0;
+    unsigned shards = 1;
     std::string goldenFile, outFile;
 
     StressOptions opts;
@@ -96,7 +100,11 @@ runStressMode(int argc, char **argv)
             opts.transport = cli::transportValue(args);
         else if (args.is("--jobs"))
             jobs = args.u32();
-        else if (args.is("--golden"))
+        else if (args.is("--shards")) {
+            shards = args.u32();
+            if (shards == 0)
+                shards = 1;
+        } else if (args.is("--golden"))
             goldenFile = args.value();
         else if (args.is("--out"))
             outFile = args.value();
@@ -105,19 +113,29 @@ runStressMode(int argc, char **argv)
     }
 
     opts.nodes = nodes;
+    if (shards > 1 && opts.transport == TransportKind::Multistage) {
+        // Clamp here (not per run) so a long sweep warns once.
+        std::fprintf(stderr,
+                     "note: the multistage fabric has no "
+                     "cross-shard latency floor; running with 1 "
+                     "shard\n");
+        shards = 1;
+    }
+    jobs = cli::clampJobs(jobs, shards);
 
     std::vector<SeedOutcome> results(seeds);
     ThreadPool pool(jobs);
-    std::printf("sweeping %llu seeds from %llu: nodes=%u jobs=%u\n",
+    std::printf("sweeping %llu seeds from %llu: nodes=%u jobs=%u "
+                "shards=%u\n",
                 (unsigned long long)seeds,
                 (unsigned long long)seedBase, nodes,
-                pool.threadCount());
+                pool.threadCount(), shards);
 
     for (std::uint64_t k = 0; k < seeds; ++k) {
-        pool.submit([k, seedBase, budget, &opts, &results] {
+        pool.submit([k, seedBase, budget, shards, &opts, &results] {
             std::uint64_t seed = seedBase + k;
             StressCase c = makeStressCase(seed, opts);
-            StressResult r = runStressCase(c, budget);
+            StressResult r = runStressCase(c, budget, shards);
             results[k] = {seed, r.digest, r.steps, r.failed()};
         });
     }
