@@ -24,8 +24,10 @@
 #include <string>
 #include <vector>
 
+#include "core/dsm_system.hh"
 #include "directory/bit_pattern.hh"
 #include "fault/stress.hh"
+#include "memory/address_map.hh"
 #include "network/network.hh"
 #include "protocol/coh_msg.hh"
 #include "sim/event_queue.hh"
@@ -320,6 +322,93 @@ benchStress1024Sh8(std::uint64_t budget)
     return benchStress1024(budget, 8, "stress_1024_sh8");
 }
 
+/**
+ * Hot-spot barrier-storm: every node hammers one combinable word
+ * with fetch-adds (the barrier-counter access pattern), then joins
+ * a closing barrier. The metric is atomics per simulated
+ * millisecond — derived from RunStats::execTime, so the value is
+ * bit-deterministic across hosts and the perf-smoke regression gate
+ * compares it exactly, unlike the wall-clock benches.
+ *
+ * The multistage/direct pairs at 256 and 1024 nodes are the
+ * committed combining curve (docs/PERF.md): in-network combining
+ * merges same-address requests at the switches, so completion time
+ * scales with network *stages*; direct degrades to the sender-side
+ * software-tree baseline, which pays per-hop injector occupancy and
+ * a serializing receive port at every tree level.
+ */
+Result
+benchHotspot(unsigned nodes, TransportKind t, const char *name,
+             std::uint64_t opsPerNode)
+{
+    SystemConfig cfg;
+    cfg.numNodes = nodes;
+    cfg.transport = t;
+    cfg.proto.runtimeChecks = false;
+    auto t0 = clk::now();
+    DsmSystem sys(cfg);
+    ShmArray ctr = sys.shmAllocCombinable(1);
+    Addr a = ctr.addrOf(0);
+    RunStats rs = sys.run([&](Env &env) -> Task {
+        for (std::uint64_t i = 0; i < opsPerNode; ++i)
+            (void)co_await env.atomicFetchAdd(a, 1);
+        co_await env.barrier();
+    });
+    double s = secondsSince(t0);
+    if (std::getenv("CENJU_BENCH_DEBUG") &&
+        t == TransportKind::Multistage)
+        std::fprintf(stderr,
+                     "%s: merged=%llu skipped=%llu ticks=%llu\n",
+                     name,
+                     (unsigned long long)sys.network()
+                         .combineMerged()
+                         .value(),
+                     (unsigned long long)sys.network()
+                         .combineSkipped()
+                         .value(),
+                     (unsigned long long)rs.execTime);
+    const std::uint64_t total = nodes * opsPerNode;
+    const std::uint64_t final =
+        sys.node(addr_map::homeNode(a))
+            .sharedMem()
+            .readWord(addr_map::offset(a));
+    if (final != total || rs.execTime == 0)
+        std::fprintf(stderr,
+                     "hotspot %s: bad sum %llu != %llu\n", name,
+                     (unsigned long long)final,
+                     (unsigned long long)total);
+    return {name, "atomics_per_sim_ms",
+            double(total) * 1e6 / double(rs.execTime), total, s};
+}
+
+Result
+benchHotspot256Multistage(std::uint64_t ops)
+{
+    return benchHotspot(256, TransportKind::Multistage,
+                        "hotspot_256_multistage", ops);
+}
+
+Result
+benchHotspot256Direct(std::uint64_t ops)
+{
+    return benchHotspot(256, TransportKind::Direct,
+                        "hotspot_256_direct", ops);
+}
+
+Result
+benchHotspot1024Multistage(std::uint64_t ops)
+{
+    return benchHotspot(1024, TransportKind::Multistage,
+                        "hotspot_1024_multistage", ops);
+}
+
+Result
+benchHotspot1024Direct(std::uint64_t ops)
+{
+    return benchHotspot(1024, TransportKind::Direct,
+                        "hotspot_1024_direct", ops);
+}
+
 // --- JSON output and baseline comparison --------------------------
 
 void
@@ -447,6 +536,14 @@ main(int argc, char **argv)
         {"packet_alloc", benchPacketAlloc, 1000000 * scale},
         {"stress_1024_seq", benchStress1024Seq, 2000000, true},
         {"stress_1024_sh8", benchStress1024Sh8, 2000000, true},
+        // Hot-spot work items are NOT scaled: the metric is
+        // simulated-time-derived, so quick and full runs produce
+        // the same value and the quick run can gate exactly.
+        {"hotspot_256_multistage", benchHotspot256Multistage, 16},
+        {"hotspot_256_direct", benchHotspot256Direct, 16},
+        {"hotspot_1024_multistage", benchHotspot1024Multistage, 8,
+         true},
+        {"hotspot_1024_direct", benchHotspot1024Direct, 8, true},
     };
 
     std::vector<Result> results;
@@ -477,6 +574,34 @@ main(int argc, char **argv)
         if (seq && sh8 && seq->value > 0) {
             Result ratio{"stress_1024_speedup", "x_seq",
                          sh8->value / seq->value, 0, 0};
+            std::printf("%-18s %16s %14.2f %10s\n",
+                        ratio.name.c_str(), ratio.metric.c_str(),
+                        ratio.value, "-");
+            results.push_back(std::move(ratio));
+        }
+    }
+
+    // Derived combining metric: simulated hot-spot throughput of
+    // in-network combining over the direct software-tree baseline
+    // at 1024 nodes (> 1 means combining wins; both inputs are
+    // deterministic, so this ratio is too).
+    for (unsigned n : {256u, 1024u}) {
+        const Result *multi = nullptr, *direct = nullptr;
+        std::string mName =
+            "hotspot_" + std::to_string(n) + "_multistage";
+        std::string dName =
+            "hotspot_" + std::to_string(n) + "_direct";
+        for (const Result &r : results) {
+            if (r.name == mName)
+                multi = &r;
+            else if (r.name == dName)
+                direct = &r;
+        }
+        if (multi && direct && direct->value > 0) {
+            Result ratio{"hotspot_" + std::to_string(n) +
+                             "_combining_speedup",
+                         "x_direct", multi->value / direct->value,
+                         0, 0};
             std::printf("%-18s %16s %14.2f %10s\n",
                         ratio.name.c_str(), ratio.metric.c_str(),
                         ratio.value, "-");

@@ -25,8 +25,14 @@ DsmSystem::DsmSystem(const SystemConfig &cfg) : _cfg(cfg)
     if (shards > 1) {
         Tick lookahead = _net->minCrossShardLatency();
         if (lookahead == 0) {
-            warn("transport \"%s\" has no cross-shard latency "
-                 "floor; running with 1 shard",
+            warn("transport \"%s\" reports no cross-shard latency "
+                 "floor, so conservative windows have zero "
+                 "lookahead: its tryInject() mutates switch state "
+                 "synchronously with the sender, and any nonzero "
+                 "window could order that mutation differently "
+                 "than the sequential run. Running with 1 shard "
+                 "(docs/ARCHITECTURE.md, \"Sharded parallel "
+                 "simulation\").",
                  _net->name());
         } else {
             _sharded = std::make_unique<shard::ShardedEngine>(
@@ -180,6 +186,20 @@ DsmSystem::shmAllocReplicated(std::size_t words)
 {
     PrivArray arr = privAlloc(words);
     _cfg.proto.replicatedRanges->emplace_back(
+        arr.addrOf(0), arr.addrOf(0) + words * 8);
+    return arr;
+}
+
+ShmArray
+DsmSystem::shmAllocCombinable(std::size_t words, NodeId home)
+{
+    if (home >= _cfg.numNodes)
+        fatal("combinable array homed on node %u of %u", home,
+              _cfg.numNodes);
+    ShmArray arr = shmAlloc(words, Mapping::onNode(home));
+    // An on-node array is contiguous in the shared address space,
+    // so one range covers every word.
+    _cfg.proto.combinableRanges->emplace_back(
         arr.addrOf(0), arr.addrOf(0) + words * 8);
     return arr;
 }

@@ -153,6 +153,19 @@ class DsmSystem
     PrivArray shmAllocReplicated(std::size_t words);
 
     /**
+     * Allocate a *combinable* array of synchronization words homed
+     * on @p home (ROADMAP item 4): words operated on only through
+     * Env::atomicFetchAdd/Min/Max/Swap. They are never cached — the
+     * home applies each op straight to memory, bypassing the
+     * directory — which is what lets concurrent requests to one
+     * word combine in flight (in the switches on the multistage
+     * fabric, at a hardware station on the ideal backend, in
+     * per-node software trees on the direct backend). Plain
+     * loads/stores to these words are a programming error.
+     */
+    ShmArray shmAllocCombinable(std::size_t words, NodeId home = 0);
+
+    /**
      * Run one SPMD program: @p program is instantiated once per
      * node and all instances execute to completion.
      * @return wall-clock statistics for this run

@@ -25,6 +25,7 @@
 #include "msgpass/msg_engine.hh"
 #include "node/dsm_node.hh"
 #include "sim/types.hh"
+#include "transport/combine.hh"
 
 namespace cenju
 {
@@ -333,6 +334,60 @@ class Env
                         done(total);
                     });
             });
+    }
+
+    // --- combinable typed atomics (ROADMAP item 4) -------------------
+
+    /**
+     * Typed atomic on a combinable synchronization word allocated
+     * with DsmSystem::shmAllocCombinable: the home applies the op
+     * to memory and returns the pre-op value, and concurrent
+     * requests to the same word may combine in flight (in the
+     * switches, at a hardware station, or in per-node software
+     * trees, depending on the transport's CombineMode). Counted as
+     * synchronization time, like barriers.
+     */
+    CallbackAwaitable<std::uint64_t>
+    atomic(Addr a, CombineOp op, std::uint64_t operand)
+    {
+        ++instructions;
+        ++memAccesses;
+        return CallbackAwaitable<std::uint64_t>(
+            [this, a, op,
+             operand](std::function<void(std::uint64_t)> done) {
+                Tick t0 = now();
+                _node.master().atomicOp(
+                    a, op, operand,
+                    [this, t0,
+                     done = std::move(done)](std::uint64_t v) {
+                        syncTime += now() - t0;
+                        done(v);
+                    });
+            });
+    }
+
+    CallbackAwaitable<std::uint64_t>
+    atomicFetchAdd(Addr a, std::uint64_t v)
+    {
+        return atomic(a, CombineOp::FetchAdd, v);
+    }
+
+    CallbackAwaitable<std::uint64_t>
+    atomicMin(Addr a, std::uint64_t v)
+    {
+        return atomic(a, CombineOp::Min, v);
+    }
+
+    CallbackAwaitable<std::uint64_t>
+    atomicMax(Addr a, std::uint64_t v)
+    {
+        return atomic(a, CombineOp::Max, v);
+    }
+
+    CallbackAwaitable<std::uint64_t>
+    atomicSwap(Addr a, std::uint64_t v)
+    {
+        return atomic(a, CombineOp::Swap, v);
     }
 
     // --- message passing ------------------------------------------------

@@ -41,10 +41,12 @@ makeStressCase(std::uint64_t seed, const StressOptions &opts)
     // windows actually bite.
     c.xbCapacity = 2 + unsigned(srng.below(3));
 
+    // Random cases rotate over the first numRandomStressPatterns
+    // only (hot-spot shifts digests; it is opt-in via --pattern).
     c.workload.pattern = opts.patternFixed
         ? opts.pattern
         : static_cast<StressPattern>(
-              srng.below(numStressPatterns));
+              srng.below(numRandomStressPatterns));
     c.workload.blocks = 2 + unsigned(srng.below(5));
     c.workload.opsPerNode = 16 + unsigned(srng.below(33));
     c.workload.rounds = 2 + unsigned(srng.below(2));
@@ -159,7 +161,10 @@ runStressCase(const StressCase &c, std::uint64_t eventBudget,
     ShmArray arr = sys.shmAlloc(
         std::size_t(c.workload.blocks) * ShmArray::wordsPerBlock,
         Mapping::blockCyclic());
-    auto program = makeStressProgram(c.workload, arr);
+    ShmArray sync;
+    if (c.workload.pattern == StressPattern::HotSpot)
+        sync = sys.shmAllocCombinable(hotSpotSyncWords);
+    auto program = makeStressProgram(c.workload, arr, sync);
 
     // Bounded replica of DsmSystem::runEach: tolerate starvation
     // (diagnose instead of fatal) and stop at the event budget.

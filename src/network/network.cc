@@ -8,11 +8,15 @@ namespace cenju
 Network::Network(EventQueue &eq, const NetConfig &cfg)
     : _eq(eq), _cfg(cfg), _topo(cfg.numNodes, cfg.stages),
       _injectors(cfg.numNodes), _endpoints(cfg.numNodes, nullptr),
+      _combineParked(cfg.numNodes),
       _injectedCtr(_stats.counter("injected")),
       _deliveredCtr(_stats.counter("delivered")),
       _multicastCopies(_stats.counter("multicast_copies")),
       _gatherAbsorbed(_stats.counter("gather_absorbed")),
       _gatherForwarded(_stats.counter("gather_forwarded")),
+      _combineMerged(_stats.counter("combine_merged")),
+      _combineSkipped(_stats.counter("combine_skipped")),
+      _combineDecombined(_stats.counter("combine_decombined")),
       _latency(_stats.sampleStat("latency_ns"))
 {
     unsigned rows = _topo.rowsPerStage();
@@ -96,6 +100,21 @@ Network::tryInject(PacketPtr &&pkt)
     NodeId n = pkt->src;
     if (n >= _cfg.numNodes)
         panic("inject from bad node %u", n);
+    if (pkt->combinable && pkt->combinedReply) {
+        // Combined replies ride the switches' dedicated return
+        // channel (descendReply): accepted unconditionally, charged
+        // the injection overhead, then walked down stage by stage.
+        pkt->injectTick = _eq.now();
+        pkt->packetId = _nextPacketId++;
+        ++_injectedCtr;
+        ++_injected;
+        int top = static_cast<int>(_topo.stages()) - 1;
+        _eq.scheduleAfter(_cfg.injectLatency,
+                          [this, top, p = std::move(pkt)]() mutable {
+                              descendReply(std::move(p), top);
+                          });
+        return true;
+    }
     Injector &inj = _injectors[n];
     if (inj.q.size() >= effectiveInjectCapacity(n)) {
         inj.wasFull = true;
@@ -103,6 +122,12 @@ Network::tryInject(PacketPtr &&pkt)
     }
     pkt->injectTick = _eq.now();
     pkt->packetId = _nextPacketId++;
+    if (pkt->combinable) {
+        // The ticket identifies this (possibly merged-into) request
+        // to the combining records it leaves behind; the rep packet
+        // accumulates in place, so the ticket survives to the home.
+        pkt->combineTicket = pkt->packetId;
+    }
     ++_injectedCtr;
     ++_injected;
     inj.q.push_back(std::move(pkt));
@@ -153,6 +178,66 @@ Network::pumpInjector(NodeId n)
                       });
 }
 
+void
+Network::descendReply(PacketPtr pkt, int stage)
+{
+    NodeId requester = pkt->dest.unicastDest();
+    if (stage < 0) {
+        _eq.scheduleAfter(
+            _cfg.ejectLatency,
+            [this, requester, p = std::move(pkt)]() mutable {
+                deliverCombinedReply(requester, std::move(p));
+            });
+        return;
+    }
+    // The reply retraces the request's forward route in reverse;
+    // every merge the surviving request performed was recorded at a
+    // switch on that route, keyed by the absorbed packet's ticket.
+    auto hops = _topo.route(requester, pkt->src);
+    unsigned s = static_cast<unsigned>(stage);
+    XbarSwitch &sw = switchAt(s, hops[s].row);
+    std::vector<CombineTable::Record> recs;
+    sw.combineTable().takeMatches(pkt->combineTicket, recs);
+    Tick delay = _cfg.stageLatency +
+                 _cfg.gatherMergeLatency * Tick(recs.size());
+    for (const CombineTable::Record &r : recs) {
+        // Reconstruct the absorbed requester's reply: base value as
+        // seen after the requests serialized ahead of it, i.e. the
+        // rep's prefix folded onto this reply's base.
+        PacketPtr sub = pkt->clone();
+        sub->dest = DestSpec::unicast(r.absorbedSrc);
+        sub->decodedDestValid = false;
+        sub->combineOperand =
+            combineApply(r.op, pkt->combineOperand, r.prefix);
+        sub->combineTicket = r.absorbedTicket;
+        sub->combineCookie = r.absorbedCookie;
+        ++_combineDecombined;
+        // The absorbed request joined this switch at stage s, so its
+        // reply continues from stage s-1 along its own route.
+        _eq.scheduleAfter(delay,
+                          [this, stage,
+                           p = std::move(sub)]() mutable {
+                              descendReply(std::move(p), stage - 1);
+                          });
+    }
+    _eq.scheduleAfter(delay,
+                      [this, stage, p = std::move(pkt)]() mutable {
+                          descendReply(std::move(p), stage - 1);
+                      });
+}
+
+void
+Network::deliverCombinedReply(NodeId n, PacketPtr pkt)
+{
+    if (!ejectReserve(n, *pkt)) {
+        // Parked until the endpoint frees space (deliveryRetry) or
+        // a delivery-hold fault window closes.
+        _combineParked[n].push_back(std::move(pkt));
+        return;
+    }
+    ejectDeliver(n, std::move(pkt));
+}
+
 bool
 Network::ejectReserve(NodeId n, const Packet &pkt)
 {
@@ -190,6 +275,13 @@ Network::registerEjectWaiter(NodeId n, XbarSwitch *sw, unsigned out)
 void
 Network::deliveryRetry(NodeId n)
 {
+    while (!_combineParked[n].empty()) {
+        if (!ejectReserve(n, *_combineParked[n].front()))
+            break;
+        PacketPtr p = std::move(_combineParked[n].front());
+        _combineParked[n].pop_front();
+        ejectDeliver(n, std::move(p));
+    }
     for (std::size_t i = 0; i < _ejectWaiters.size();) {
         if (_ejectWaiterNodes[i] == n) {
             auto [sw, out] = _ejectWaiters[i];

@@ -73,6 +73,13 @@ class Network final : public Transport
      */
     Tick minCrossShardLatency() const override { return 0; }
 
+    /** Combinable atomics merge/decombine at the switches. */
+    CombineMode
+    combineMode() const override
+    {
+        return CombineMode::InFabric;
+    }
+
     StatGroup &stats() override { return _stats; }
 
     /**
@@ -129,6 +136,9 @@ class Network final : public Transport
     Counter &multicastCopies() { return _multicastCopies; }
     Counter &gatherAbsorbed() { return _gatherAbsorbed; }
     Counter &gatherForwarded() { return _gatherForwarded; }
+    Counter &combineMerged() { return _combineMerged; }
+    Counter &combineSkipped() { return _combineSkipped; }
+    Counter &combineDecombined() { return _combineDecombined; }
 
     /** Switch at (stage, row) — exposed for tests. */
     XbarSwitch &
@@ -151,6 +161,21 @@ class Network final : public Transport
 
     void pumpInjector(NodeId n);
 
+    /**
+     * Combined-reply descent (ROADMAP item 4): retrace the request
+     * route home -> requester through stages [stage..0], consuming
+     * combining records and spawning absorbed requesters' replies,
+     * then eject. Modeled as the switch's dedicated return channel:
+     * per-hop stageLatency (+ gatherMergeLatency per decombine) with
+     * no crosspoint contention — the request path keeps full
+     * contention and the home is charged once per *merged* packet,
+     * which is where the O(log N) win lives (docs/ARCHITECTURE.md).
+     */
+    void descendReply(PacketPtr pkt, int stage);
+
+    /** Final hop of a descent: reserve-or-park, then deliver. */
+    void deliverCombinedReply(NodeId n, PacketPtr pkt);
+
     EventQueue &_eq;
     NetConfig _cfg;
     Topology _topo;
@@ -159,6 +184,9 @@ class Network final : public Transport
     std::vector<Endpoint *> _endpoints;
     std::vector<std::pair<XbarSwitch *, unsigned>> _ejectWaiters;
     std::vector<NodeId> _ejectWaiterNodes;
+
+    /** Combined replies refused at the endpoint, per node. */
+    std::vector<std::deque<PacketPtr>> _combineParked;
 
     /** Injection-queue capacity with any active fault squeeze. */
     unsigned effectiveInjectCapacity(NodeId n) const;
@@ -169,6 +197,9 @@ class Network final : public Transport
     Counter &_multicastCopies;
     Counter &_gatherAbsorbed;
     Counter &_gatherForwarded;
+    Counter &_combineMerged;
+    Counter &_combineSkipped;
+    Counter &_combineDecombined;
     SampleStat &_latency;
     std::uint64_t _injected = 0;
     std::uint64_t _delivered = 0;

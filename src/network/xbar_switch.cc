@@ -10,7 +10,8 @@ XbarSwitch::XbarSwitch(EventQueue &eq, Network &net,
                        unsigned stage, unsigned row)
     : _eq(eq), _net(net), _topo(topo), _cfg(cfg), _stage(stage),
       _row(row), _lastStage(stage + 1 == topo.stages()),
-      _gather(cfg.gatherTableEntries)
+      _gather(cfg.gatherTableEntries),
+      _combine(cfg.combineTableEntries)
 {}
 
 std::vector<unsigned>
@@ -126,6 +127,14 @@ XbarSwitch::commit(unsigned in_port, PacketPtr pkt)
         return;
     }
 
+    // In-network combining (ROADMAP item 4): a combinable request
+    // arriving while a same-key request is still queued for the
+    // same output folds into it and dies here.
+    if (pkt->combinable && !pkt->combinedReply && outs.size() == 1 &&
+        tryCombine(in_port, outs[0], pkt)) {
+        return; // merged away
+    }
+
     // Multicast replication: clone into each covered output's
     // crosspoint buffer; the original moves into the last one.
     for (std::size_t k = 0; k + 1 < outs.size(); ++k) {
@@ -133,6 +142,50 @@ XbarSwitch::commit(unsigned in_port, PacketPtr pkt)
         enqueue(in_port, outs[k], pkt->clone());
     }
     enqueue(in_port, outs.back(), std::move(pkt));
+}
+
+bool
+XbarSwitch::tryCombine(unsigned in_port, unsigned out, PacketPtr &pkt)
+{
+    // The queued packet is the representative: it is ahead in the
+    // buffer and reaches the home first, which realizes the
+    // "rep first, then absorbed" serialization the decombine
+    // algebra assumes (transport/combine.hh). The ALU fold fits in
+    // the stage's header time, so no extra latency is charged; only
+    // the reply descent pays gatherMergeLatency per decombine.
+    for (unsigned in = 0; in < switchRadix; ++in) {
+        for (PacketPtr &q : _xb[in][out].q) {
+            if (!q->combinable || q->combinedReply ||
+                q->combineKey != pkt->combineKey ||
+                q->combineOp != pkt->combineOp ||
+                q->dest.unicastDest() != pkt->dest.unicastDest())
+                continue;
+            if (!_combine.canRecord(pkt->combineTicket)) {
+                // Record slot aliased by a live merge: skip the
+                // combine and forward uncombined. Never wrong,
+                // only slower (net_config.hh).
+                ++_net.combineSkipped();
+                return false;
+            }
+            CombineTable::Record r;
+            r.key = pkt->combineKey;
+            r.repTicket = q->combineTicket;
+            r.absorbedTicket = pkt->combineTicket;
+            r.absorbedSrc = pkt->src;
+            r.absorbedCookie = pkt->combineCookie;
+            r.prefix = q->combineOperand;
+            r.op = q->combineOp;
+            _combine.store(r);
+            q->combineOperand = combineApply(
+                q->combineOp, q->combineOperand, pkt->combineOperand);
+            ++_net.combineMerged();
+            std::vector<unsigned> outs{out};
+            pkt.reset();
+            releaseReservation(in_port, outs);
+            return true;
+        }
+    }
+    return false;
 }
 
 void

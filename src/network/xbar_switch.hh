@@ -101,6 +101,12 @@ class XbarSwitch
 
     const GatherTable &gatherTable() const { return _gather; }
 
+    /**
+     * Combining-record table (mutable: the reply descent pops the
+     * records it answers — Network::descendCombinedReply).
+     */
+    CombineTable &combineTable() { return _combine; }
+
     /** Reserves refused on gather-table occupancy (for tests). */
     std::uint64_t gatherBlockCount() const { return _gatherBlockCount; }
 
@@ -124,6 +130,14 @@ class XbarSwitch
             return unsigned(q.size()) + reserved;
         }
     };
+
+    /**
+     * Try to merge a just-arrived combinable request into a
+     * same-key request co-queued for @p out (ROADMAP item 4).
+     * @retval true if @p pkt was absorbed (reservation released,
+     * packet destroyed, combining record stored)
+     */
+    bool tryCombine(unsigned in_port, unsigned out, PacketPtr &pkt);
 
     void arbitrate(unsigned out);
     void scheduleArbitrate(unsigned out);
@@ -159,6 +173,7 @@ class XbarSwitch
         _spaceCallbacks;
 
     GatherTable _gather;
+    CombineTable _combine;
 };
 
 } // namespace cenju

@@ -41,6 +41,10 @@ cohMsgTypeName(CohMsgType t)
         return "UpdateWrite";
       case CohMsgType::UpdateAck:
         return "UpdateAck";
+      case CohMsgType::AtomicOp:
+        return "AtomicOp";
+      case CohMsgType::AtomicReply:
+        return "AtomicReply";
     }
     return "?";
 }

@@ -55,6 +55,13 @@ enum class CohMsgType : std::uint8_t
     // main memory as a third-level cache, updated on writes)
     UpdateWrite, ///< multicast word update to every replica
     UpdateAck,   ///< gathered acknowledgement back to the writer
+
+    // combinable typed atomics on non-coherent synchronization
+    // words (ROADMAP item 4): combined in-network where the
+    // transport supports it, applied at the home bypassing the
+    // directory (the word is never cached).
+    AtomicOp,    ///< master -> home: fetch-add/min/max/swap
+    AtomicReply, ///< home -> master: old value, decombined en route
 };
 
 /** Printable message-type name. */
@@ -77,7 +84,8 @@ isGrant(CohMsgType t)
            t == CohMsgType::GrantExclusive ||
            t == CohMsgType::GrantModified ||
            t == CohMsgType::GrantOwnership ||
-           t == CohMsgType::Nack || t == CohMsgType::UpdateAck;
+           t == CohMsgType::Nack || t == CohMsgType::UpdateAck ||
+           t == CohMsgType::AtomicReply;
 }
 
 /** True for messages a slave module consumes. */
@@ -95,7 +103,8 @@ constexpr bool
 isHomeBound(CohMsgType t)
 {
     return isRequest(t) || t == CohMsgType::SlaveAck ||
-           t == CohMsgType::SlaveData || t == CohMsgType::InvAck;
+           t == CohMsgType::SlaveData || t == CohMsgType::InvAck ||
+           t == CohMsgType::AtomicOp;
 }
 
 /**

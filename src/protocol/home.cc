@@ -141,10 +141,44 @@ HomeModule::dispatch(CohPacket &pkt)
         return handleSlaveReply(pkt, 0);
       case CohMsgType::InvAck:
         return handleInvAck(pkt, 0);
+      case CohMsgType::AtomicOp:
+        return handleAtomic(pkt, 0);
       default:
         panic("home %u: bad message %s", _node.id(),
               cohMsgTypeName(pkt.type));
     }
+}
+
+Tick
+HomeModule::handleAtomic(const CohPacket &pkt, Tick t)
+{
+    // Directory bypass: one memory read-modify-write, one reply.
+    // In-fabric combining means a 1024-requester storm reaches this
+    // point only once per *merged* packet, so the home's serialized
+    // occupancy scales with network stages, not participants.
+    if (!_node.cfg().isCombinable(pkt.addr))
+        panic("home %u: AtomicOp on non-combinable address %#llx",
+              _node.id(),
+              static_cast<unsigned long long>(pkt.addr));
+    t += _node.timing().memoryAccess;
+    Addr off = addr_map::offset(pkt.addr);
+    std::uint64_t old = _node.sharedMem().readWord(off);
+    _node.sharedMem().writeWord(
+        off, combineApply(pkt.combineOp, old, pkt.combineOperand));
+    ++atomicsProcessed;
+
+    auto reply = makeCohPacket(CohMsgType::AtomicReply, _node.id(),
+                               pkt.src, pkt.addr, pkt.master,
+                               pkt.mshr);
+    reply->combinable = true;
+    reply->combinedReply = true;
+    reply->combineOp = pkt.combineOp;
+    reply->combineOperand = old; // base value for decombining
+    reply->combineKey = pkt.combineKey;
+    reply->combineTicket = pkt.combineTicket;
+    reply->combineCookie = pkt.combineCookie;
+    emitAt(t, std::move(reply));
+    return t;
 }
 
 Tick

@@ -105,6 +105,7 @@ class HomeModule
     Counter invalidationUnicasts;
     Counter writebacksProcessed;
     Counter gatherWaits;
+    Counter atomicsProcessed;
     SampleStat queueWaitDepth;
 
   private:
@@ -143,6 +144,15 @@ class HomeModule
     Tick handleWriteBack(const CohPacket &pkt, Tick t);
     Tick handleSlaveReply(const CohPacket &pkt, Tick t);
     Tick handleInvAck(const CohPacket &pkt, Tick t);
+
+    /**
+     * Combinable typed atomic on a non-coherent synchronization
+     * word (ROADMAP item 4): read-modify-write the memory word and
+     * reply with the old value, bypassing the directory entirely —
+     * combinable words are declared via shmAllocCombinable() and
+     * are never cached, so there is nothing to invalidate.
+     */
+    Tick handleAtomic(const CohPacket &pkt, Tick t);
 
     /** Park a request in the memory queue (queuing protocol). */
     Tick queueRequest(CohMsgType type, Addr addr, NodeId master,

@@ -297,6 +297,69 @@ MasterModule::handleUpdateAck()
 }
 
 void
+MasterModule::atomicOp(Addr addr, CombineOp op,
+                       std::uint64_t operand, LoadCallback done)
+{
+    if (!addr_map::isShared(addr) ||
+        !_node.cfg().isCombinable(addr)) {
+        panic("node %u: atomic %s on non-combinable %llx",
+              _node.id(), combineOpName(op),
+              (unsigned long long)addr);
+    }
+    ++atomicOps;
+    if (classify(addr) == AccessClass::SharedLocal)
+        ++accSharedLocal;
+    else
+        ++accSharedRemote;
+    _atomics.push_back(
+        PendingAtomic{addr, op, operand, std::move(done)});
+    if (!_atomicBusy)
+        launchAtomic();
+}
+
+void
+MasterModule::launchAtomic()
+{
+    if (_atomics.empty()) {
+        _atomicBusy = false;
+        return;
+    }
+    _atomicBusy = true;
+    PendingAtomic &a = _atomics.front();
+
+    NodeId home = addr_map::homeNode(a.addr);
+    auto pkt = makeCohPacket(CohMsgType::AtomicOp, _node.id(), home,
+                             a.addr, _node.id(), 0);
+    pkt->combinable = true;
+    pkt->combineOp = a.op;
+    pkt->combineOperand = a.operand;
+    pkt->combineKey = a.addr;
+    pkt->combineCookie = ++_atomicCookie;
+    _node.eq().scheduleAfter(
+        _node.timing().masterOverhead,
+        [this, p = std::move(pkt)]() mutable {
+            _node.sendFromMaster(std::move(p));
+        });
+}
+
+void
+MasterModule::handleAtomicReply(const CohPacket &pkt)
+{
+    if (_atomics.empty())
+        panic("node %u: stray atomic reply", _node.id());
+    if (pkt.combineCookie != _atomicCookie) {
+        panic("node %u: atomic reply cookie %u, expected %u",
+              _node.id(), pkt.combineCookie, _atomicCookie);
+    }
+    PendingAtomic a = std::move(_atomics.front());
+    _atomics.pop_front();
+    // combineOperand carries the pre-op value, decombined stage by
+    // stage if the request was merged in flight.
+    a.done(pkt.combineOperand);
+    launchAtomic();
+}
+
+void
 MasterModule::missShared(Addr addr, bool is_store,
                          std::uint64_t value, LoadCallback ldone,
                          StoreCallback sdone, CohMsgType req)
@@ -381,6 +444,12 @@ MasterModule::handleGrant(const CohPacket &pkt)
         // Update acknowledgements carry no MSHR slot; they complete
         // the single in-flight update round.
         handleUpdateAck();
+        return;
+    }
+    if (pkt.type == CohMsgType::AtomicReply) {
+        // Atomics bypass the MSHRs entirely (combinable words are
+        // never cached); matched by cookie, not slot.
+        handleAtomicReply(pkt);
         return;
     }
     unsigned slot = pkt.mshr;

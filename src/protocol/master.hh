@@ -25,6 +25,7 @@
 #include "protocol/coh_msg.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "transport/combine.hh"
 
 namespace cenju
 {
@@ -67,6 +68,17 @@ class MasterModule
     /** Issue a 64-bit store of @p value at @p addr. */
     void store(Addr addr, std::uint64_t value, StoreCallback done);
 
+    /**
+     * Issue a typed atomic (fetch-add/min/max/swap) on a combinable
+     * synchronization word (ROADMAP item 4). The request bypasses
+     * the cache and MSHRs: combinable words are never cached, the
+     * home applies the op to memory directly, and @p done fires
+     * with the pre-op value. One atomic in flight per node (like
+     * update rounds); further ops queue behind it.
+     */
+    void atomicOp(Addr addr, CombineOp op, std::uint64_t operand,
+                  LoadCallback done);
+
     /** A grant (or nack) arrived from a home. */
     void handleGrant(const CohPacket &pkt);
 
@@ -103,6 +115,7 @@ class MasterModule
     Counter nackRetries;
     Counter ownershipReissues;
     Counter updateStores;
+    Counter atomicOps;
     SampleStat loadMissLatency;
     SampleStat storeMissLatency;
 
@@ -145,6 +158,8 @@ class MasterModule
                      StoreCallback done);
     void launchUpdate();
     void handleUpdateAck();
+    void launchAtomic();
+    void handleAtomicReply(const CohPacket &pkt);
     void missShared(Addr addr, bool is_store, std::uint64_t value,
                     LoadCallback ldone, StoreCallback sdone,
                     CohMsgType req);
@@ -169,11 +184,23 @@ class MasterModule
         StoreCallback done;
     };
 
+    /** A typed atomic queued behind the one in flight. */
+    struct PendingAtomic
+    {
+        Addr addr;
+        CombineOp op;
+        std::uint64_t operand;
+        LoadCallback done;
+    };
+
     DsmNode &_node;
     std::array<Mshr, maxOutstanding> _mshrs;
     std::deque<Deferred> _deferred;
     std::deque<PendingUpdate> _updates;
     bool _updateBusy = false;
+    std::deque<PendingAtomic> _atomics;
+    bool _atomicBusy = false;
+    std::uint32_t _atomicCookie = 0; ///< reply-matching sequence
 };
 
 } // namespace cenju

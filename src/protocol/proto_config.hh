@@ -126,6 +126,33 @@ struct ProtocolConfig
         }
         return false;
     }
+
+    /**
+     * Combinable synchronization-word ranges (ROADMAP item 4):
+     * shared words operated on only through typed atomics
+     * (fetch-add/min/max/swap), never cached, so the home applies
+     * them directly to memory with no directory action and the
+     * network may merge concurrent requests in flight. Shared by
+     * every node; DsmSystem appends ranges via shmAllocCombinable.
+     */
+    // cenju-lint: allow(A003): configuration state built before
+    // the run; shared by every node, read-only on hot paths.
+    std::shared_ptr<std::vector<std::pair<Addr, Addr>>>
+        combinableRanges =
+            // cenju-lint: allow(A003): cold config-time allocation.
+            std::make_shared<
+                std::vector<std::pair<Addr, Addr>>>();
+
+    /** True if shared address @p a lies in a combinable range. */
+    bool
+    isCombinable(Addr a) const
+    {
+        for (const auto &[lo, hi] : *combinableRanges) {
+            if (a >= lo && a < hi)
+                return true;
+        }
+        return false;
+    }
 };
 
 } // namespace cenju

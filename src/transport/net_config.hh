@@ -75,6 +75,34 @@ struct NetConfig
     unsigned gatherTableEntries = 2048;
 
     /**
+     * Entries in each switch's combining-record table (ROADMAP
+     * item 4). Records live only between a merge on the request path
+     * and the matching decombine on the reply path — at most one
+     * record per merged pair in flight through that switch — but
+     * slots are claimed by ticket modulo the size, so the table must
+     * cover the live *ticket* span, not the record count: a 1024-node
+     * hot-spot storm has ~numNodes consecutive tickets converging on
+     * the root switches at once, and a 256-entry table aliases ~15%
+     * of would-be merges into skips there (measured by the
+     * hotspot_1024 bench). Sized like the gather table so exhaustion
+     * cannot happen at the maximum configuration. A full table is
+     * never wrong — the merge is skipped and the request forwards
+     * uncombined (counted in combineSkipped) — so undersizing only
+     * degrades back toward the no-combining baseline.
+     */
+    unsigned combineTableEntries = 2048;
+
+    /**
+     * Software-combining flush window for the `direct` backend's
+     * sender-side combining tree (ns): a node buffers same-key
+     * combinable requests from its subtree this long before
+     * forwarding one merged packet toward the root. Models the
+     * no-offload baseline's batching knob; in-fabric backends
+     * ignore it.
+     */
+    Tick swCombineWindow = 500;
+
+    /**
      * Cenju-4 stage-count rule: enough radix-4 stages to address
      * @p num_nodes, rounded up to even on larger systems —
      * 16 -> 2, 128 -> 4, 1024 -> 6 (Table 2).

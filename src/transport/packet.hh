@@ -22,6 +22,7 @@
 #include "directory/node_set.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
+#include "transport/combine.hh"
 
 namespace cenju
 {
@@ -149,6 +150,49 @@ class Packet
     // different nodes share one immutable group set; ownership is
     // genuinely shared and ends with the last in-flight sibling.
     std::shared_ptr<const NodeSet> gatherGroup;
+
+    /**
+     * Combining fields (ROADMAP item 4, NYU Ultracomputer lineage).
+     * A combinable request is a unicast toward the home of
+     * combineKey carrying one typed operand; requests to the same
+     * key that meet at a switch merge into one packet whose operand
+     * is the combineApply() fold of both. The home's single reply
+     * (combinedReply = true, combineOperand = old memory value) is
+     * decombined stage-by-stage on the way back: each switch that
+     * merged spawns the absorbed requester's reply from the base
+     * value and the prefix it recorded at merge time.
+     */
+    bool combinable = false;
+
+    /** Reply half of the protocol: value rides in combineOperand. */
+    bool combinedReply = false;
+
+    CombineOp combineOp = CombineOp::FetchAdd;
+
+    /** Request: accumulated operand. Reply: base (old) value. */
+    std::uint64_t combineOperand = 0;
+
+    /** The combinable synchronization word's address. */
+    std::uint64_t combineKey = 0;
+
+    /**
+     * Identity of the (possibly merged) request a reply answers:
+     * requests carry their own packetId here; the home echoes it.
+     * Switch combining records are keyed by the absorbed packet's
+     * ticket, which is globally unique because a packet is absorbed
+     * at most once.
+     */
+    std::uint64_t combineTicket = 0;
+
+    /** Requester-side correlation cookie, echoed in the reply. */
+    std::uint32_t combineCookie = 0;
+
+    /**
+     * Home node of combineKey, pinned at first injection so the
+     * `direct` backend's software combining tree can re-address a
+     * request hop by hop without losing the final destination.
+     */
+    NodeId combineHome = invalidNode;
 
     /** Set when injected; used for latency statistics. */
     Tick injectTick = 0;

@@ -75,6 +75,19 @@ class SoftwareTransport : public Transport
 
     bool bindShards(shard::Router *router) override;
 
+    /**
+     * Ideal executes combinable atomics as a zero-contention
+     * hardware primitive (home-side combining station); direct
+     * falls back to sender-side software combining trees — the
+     * no-offload baseline (docs/ARCHITECTURE.md).
+     */
+    CombineMode
+    combineMode() const override
+    {
+        return _softwareFanout ? CombineMode::SoftwareTree
+                               : CombineMode::Hardware;
+    }
+
     unsigned injectCapacity(NodeId n) const override;
 
     unsigned
@@ -122,6 +135,59 @@ class SoftwareTransport : public Transport
     };
 
     /**
+     * One recorded merge of combinable requests, kept where the
+     * merge happened so the reply can be decombined there (same
+     * algebra as the switch CombineTable; transport/combine.hh).
+     */
+    struct CombineRecord
+    {
+        std::uint64_t repTicket = 0;
+        std::uint64_t absorbedTicket = 0;
+        NodeId absorbedSrc = invalidNode;
+        std::uint32_t absorbedCookie = 0;
+        std::uint64_t prefix = 0;
+        CombineOp op = CombineOp::FetchAdd;
+    };
+
+    /**
+     * Ideal's hardware combining station at the home's interface:
+     * while one request per key is outstanding at the endpoint, the
+     * next becomes pending and later arrivals fold into it, so a
+     * hot-spot storm completes in two home visits regardless of N.
+     * Presence of a station means a request is outstanding.
+     */
+    struct HwStation
+    {
+        /** Ticket of the request currently at the home. A reply
+         * for any other ticket (a mixed-op request delivered
+         * serially past the station) must not release pending. */
+        std::uint64_t outstandingTicket = 0;
+        PacketPtr pending;
+        std::vector<CombineRecord> records;
+    };
+
+    /**
+     * Direct's per-node software combiner: same-key requests from
+     * this node's tree subtree buffered for swCombineWindow, then
+     * forwarded as one merged packet toward the tree parent. All
+     * state is per-node so sharding ownership holds.
+     */
+    struct SwCombiner
+    {
+        /** combineKey -> aggregate being built. */
+        std::unordered_map<std::uint64_t, PacketPtr, U64MixHash>
+            pending;
+        /** combineKey -> node the aggregate's rep arrived from. */
+        std::unordered_map<std::uint64_t, NodeId, U64MixHash>
+            pendingFrom;
+        /** Merges performed here, popped on the reply descent. */
+        std::vector<CombineRecord> records;
+        /** Forwarded ticket -> where its reply should continue. */
+        std::unordered_map<std::uint64_t, NodeId, U64MixHash>
+            fwdFrom;
+    };
+
+    /**
      * Per-source injection queue and serializing port. All mutable
      * transmit-side state — including statistics and the packet-id
      * sequence — lives here (not in transport-wide members) so that
@@ -157,6 +223,9 @@ class SoftwareTransport : public Transport
         /** Key: gatherId (the map is already per-destination). */
         std::unordered_map<std::uint32_t, GatherMerge, U64MixHash>
             gathers;
+        /** Ideal: combining stations, keyed by combineKey. */
+        std::unordered_map<std::uint64_t, HwStation, U64MixHash>
+            stations;
     };
 
     void pumpInjector(NodeId n);
@@ -165,6 +234,36 @@ class SoftwareTransport : public Transport
     void pumpDelivery(NodeId dst);
     void routeArrival(NodeId src, NodeId dst, Tick when,
                       PacketPtr pkt);
+
+    // --- combinable atomics (ROADMAP item 4) ----------------------
+
+    /** Ideal: reply leaves the home via the hardware primitive. */
+    void hwCombineReply(NodeId home, PacketPtr pkt);
+
+    /**
+     * Ideal: combinable request reaching the home's station.
+     * @retval true if consumed (merged or parked); false means the
+     * caller should deliver it (a station now tracks it).
+     */
+    bool hwCombineArrive(NodeId dst, PacketPtr &pkt);
+
+    /** Direct: tree parent of @p x for requests homed at @p home. */
+    NodeId swParent(NodeId x, NodeId home) const;
+
+    /** Direct: request enters node @p x's software combiner. */
+    void swCombineAccept(NodeId x, PacketPtr pkt);
+
+    /** Direct: flush window expired; forward the aggregate. */
+    void swCombineFlush(NodeId x, std::uint64_t key);
+
+    /** Direct: reply descending the software tree reaches @p x. */
+    void swReplyArrive(NodeId x, PacketPtr pkt);
+
+    /** Direct: send @p pkt through @p x's injector (tree hop). */
+    void swForward(NodeId x, PacketPtr pkt);
+
+    /** Deliver at @p x's port (normal reserve/serialize path). */
+    void deliverLocal(NodeId x, PacketPtr pkt);
 
     /** Clock node @p n's events run on (shard-aware). */
     EventQueue &queueOf(NodeId n);
@@ -183,6 +282,9 @@ class SoftwareTransport : public Transport
     std::vector<Injector> _injectors;
     std::vector<DeliveryPort> _ports;
     std::vector<Endpoint *> _endpoints;
+
+    /** Direct: per-node software combiners (empty on ideal). */
+    std::vector<SwCombiner> _combiners;
 
     StatGroup _stats;
     Counter &_injectedCtr;

@@ -17,6 +17,8 @@ stressPatternName(StressPattern p)
         return "producer-consumer";
       case StressPattern::BarrierChurn:
         return "barrier-churn";
+      case StressPattern::HotSpot:
+        return "hot-spot";
     }
     return "?";
 }
@@ -134,11 +136,61 @@ barrierChurn(Env &env, StressWorkload w, ShmArray arr)
     }
 }
 
+Task
+hotSpot(Env &env, StressWorkload w, ShmArray arr, ShmArray sync)
+{
+    // The hot-spot storm (ROADMAP item 4): every node hammers
+    // typed atomics on sync word 0 — the traffic in-network
+    // combining exists to flatten — with a sprinkle of atomics on
+    // the other sync words and of ordinary coherent reads, so the
+    // combining path runs concurrently with directory traffic.
+    Rng rng = Rng(w.seed).split(env.id());
+    std::uint64_t acc = 0;
+    for (unsigned r = 0; r < w.rounds; ++r) {
+        for (unsigned i = 0; i < w.opsPerNode; ++i) {
+            if (rng.chance(0.2)) {
+                acc += co_await env.getBits(
+                    arr,
+                    blockIndex(unsigned(rng.below(w.blocks))));
+                continue;
+            }
+            std::size_t word = rng.chance(0.75)
+                ? 0
+                : 1 + rng.below(hotSpotSyncWords - 1);
+            Addr a = sync.addrOf(word);
+            switch (unsigned(rng.below(4))) {
+              case 0:
+              case 1:
+                acc += co_await env.atomicFetchAdd(a, 1);
+                break;
+              case 2:
+                acc += co_await env.atomicMax(
+                    a, serial(env.id(), i));
+                break;
+              default:
+                acc += co_await env.atomicMin(a, acc | 1);
+                break;
+            }
+        }
+        co_await env.barrier();
+    }
+}
+
 } // namespace
 
 std::function<Task(Env &)>
-makeStressProgram(const StressWorkload &w, ShmArray arr)
+makeStressProgram(const StressWorkload &w, ShmArray arr,
+                  ShmArray sync)
 {
+    if (w.pattern == StressPattern::HotSpot) {
+        if (sync.size() < hotSpotSyncWords) {
+            panic("hot-spot pattern needs a combinable sync array "
+                  "of >= %zu words", hotSpotSyncWords);
+        }
+        return [w, arr, sync](Env &env) {
+            return hotSpot(env, w, arr, sync);
+        };
+    }
     switch (w.pattern) {
       case StressPattern::SharingHeavy:
         return [w, arr](Env &env) {
@@ -156,6 +208,8 @@ makeStressProgram(const StressWorkload &w, ShmArray arr)
         return [w, arr](Env &env) {
             return barrierChurn(env, w, arr);
         };
+      case StressPattern::HotSpot:
+        break; // handled above
     }
     panic("bad stress pattern");
 }

@@ -46,9 +46,19 @@ enum class StressPattern : std::uint8_t
     Migratory,
     ProducerConsumer,
     BarrierChurn,
+    HotSpot,
 };
 
-constexpr unsigned numStressPatterns = 4;
+constexpr unsigned numStressPatterns = 5;
+
+/**
+ * Patterns a random seed may draw (the first N of the enum).
+ * HotSpot is excluded: it needs a combinable sync array and typed
+ * atomics, and folding it into the random rotation would shift
+ * every recorded stress digest (tests/golden). Reach it explicitly
+ * with --pattern hot-spot or StressOptions::patternFixed.
+ */
+constexpr unsigned numRandomStressPatterns = 4;
 
 /** Serialized pattern name ("sharing-heavy", ...). */
 const char *stressPatternName(StressPattern p);
@@ -66,15 +76,23 @@ struct StressWorkload
     std::uint64_t seed = 1;   ///< workload randomness
 };
 
+/** Combinable sync words the hot-spot pattern operates on. */
+constexpr std::size_t hotSpotSyncWords = 4;
+
 /**
  * Build the per-node program for @p w over @p arr (allocated
  * block-cyclic with w.blocks * ShmArray::wordsPerBlock words, so
  * consecutive blocks are homed on consecutive nodes). The same
  * function is handed to every node; nodes diverge only through
  * env.id().
+ *
+ * The HotSpot pattern additionally needs @p sync, a combinable
+ * array of at least hotSpotSyncWords words (shmAllocCombinable);
+ * the other patterns ignore it.
  */
 std::function<Task(Env &)> makeStressProgram(const StressWorkload &w,
-                                             ShmArray arr);
+                                             ShmArray arr,
+                                             ShmArray sync = {});
 
 } // namespace cenju
 

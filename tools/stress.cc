@@ -42,8 +42,10 @@ usage(const char *argv0)
         "  --seed S         run exactly one seed, verbose\n"
         "  --nodes N        system size (default 16)\n"
         "  --pattern P      sharing-heavy | migratory |\n"
-        "                   producer-consumer | barrier-churn\n"
-        "                   (default: drawn per seed)\n"
+        "                   producer-consumer | barrier-churn |\n"
+        "                   hot-spot (combinable atomics storm)\n"
+        "                   (default: drawn per seed, excluding\n"
+        "                   hot-spot)\n"
         "  --bug B          none | skip-reservation | drop-sharer\n"
         "%s"
         "  --set K=V        override a generated case field, using\n"
@@ -281,8 +283,12 @@ main(int argc, char **argv)
         // Clamp here (not per run) so a seed sweep warns once.
         std::fprintf(stderr,
                      "note: the multistage fabric has no "
-                     "cross-shard latency floor; running with 1 "
-                     "shard\n");
+                     "cross-shard latency floor — its tryInject() "
+                     "mutates switch state synchronously with the "
+                     "sender, so conservative windows would have "
+                     "zero lookahead; running with 1 shard (see "
+                     "docs/ARCHITECTURE.md, \"Sharded parallel "
+                     "simulation\")\n");
         opt.shards = 1;
     }
     if (opt.shards > 1 && opt.gen.bug != ProtoBug::None)
