@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -409,6 +410,57 @@ benchHotspot1024Direct(std::uint64_t ops)
                         "hotspot_1024_direct", ops);
 }
 
+/**
+ * Queuing-protocol hot path: 256 masters hammer one home block
+ * with stores, so every request after the first takes the
+ * conflict path — park in the home's main-memory FIFO, serve in
+ * order on reply completion. This is the inner loop the policy
+ * seam (src/policy/) virtualized; the metric is stores per
+ * *simulated* millisecond, bit-deterministic across hosts, so the
+ * perf-smoke gate catches any extra hop or re-park the seam might
+ * introduce exactly. The protocol is pinned (not CENJU_PROTOCOL)
+ * for the same reason the stress goldens pin it.
+ */
+Result
+benchCohQueuing256(std::uint64_t opsPerNode)
+{
+    SystemConfig cfg;
+    cfg.numNodes = 256;
+    cfg.proto.protocol = ProtocolKind::Queuing;
+    cfg.proto.runtimeChecks = false;
+    auto t0 = clk::now();
+    DsmSystem sys(cfg);
+    Addr a = addr_map::makeShared(0, 0);
+    std::uint64_t done = 0;
+    std::function<void(NodeId, std::uint64_t)> kick =
+        [&](NodeId n, std::uint64_t remaining) {
+            if (remaining == 0)
+                return;
+            sys.node(n).master().store(a, n, [&, n, remaining] {
+                ++done;
+                kick(n, remaining - 1);
+            });
+        };
+    for (NodeId n = 0; n < cfg.numNodes; ++n)
+        kick(n, opsPerNode);
+    sys.eq().run();
+    double s = secondsSince(t0);
+    const std::uint64_t total = cfg.numNodes * opsPerNode;
+    if (done != total || sys.eq().now() == 0 ||
+        sys.node(0).home().nacksSent.value() != 0)
+        std::fprintf(stderr,
+                     "coh_queuing_256: bad run (%llu/%llu done, "
+                     "%llu nacks)\n",
+                     (unsigned long long)done,
+                     (unsigned long long)total,
+                     (unsigned long long)sys.node(0)
+                         .home()
+                         .nacksSent.value());
+    return {"coh_queuing_256", "stores_per_sim_ms",
+            double(total) * 1e6 / double(sys.eq().now()), total,
+            s};
+}
+
 // --- JSON output and baseline comparison --------------------------
 
 void
@@ -544,6 +596,10 @@ main(int argc, char **argv)
         {"hotspot_1024_multistage", benchHotspot1024Multistage, 8,
          true},
         {"hotspot_1024_direct", benchHotspot1024Direct, 8, true},
+        // Simulated-time metric like the hot-spot pair: quick and
+        // full runs produce the same value, so the quick CI gate
+        // checks the queuing conflict path exactly.
+        {"coh_queuing_256", benchCohQueuing256, 8},
     };
 
     std::vector<Result> results;

@@ -77,6 +77,12 @@ issueOp(ReplaySys &sys, const CheckConfig &cfg, const Op &op,
         m.flushBlock(addr);
         st.done = true; // the writeback itself drains with the queue
         break;
+      case OpKind::Epoch:
+        // What Env::barrier() does on completion: advance the
+        // node's phase epoch. Schedules nothing.
+        sys.nodes[op.node]->policy().advanceEpoch();
+        st.done = true;
+        break;
     }
 }
 
@@ -152,6 +158,16 @@ fingerprint(ReplaySys &sys, const CheckConfig &cfg)
         os << "m"
            << canon(sys.nodes[h]->sharedMem().readBlock(blk).w[0]);
         os << ";";
+    }
+    if (cfg.protocol == ProtocolKind::PhasePriority) {
+        // Raw per-node epochs. They cannot be canonicalized the way
+        // values are: the home orders parked requests by epoch
+        // *difference*, so (0,2) and (0,1) are genuinely distinct
+        // states — renumbering would merge them and miss behaviour.
+        // maxPhase bounds them, keeping the space finite.
+        os << "e";
+        for (auto &node : sys.nodes)
+            os << node->policy().epoch() << ",";
     }
     return os.str();
 }
@@ -304,7 +320,28 @@ transitionBatches(const ExplorerOptions &opt)
             }
         }
     }
+    if (cfg.protocol == ProtocolKind::PhasePriority &&
+        opt.maxPhase > 0) {
+        // Epoch advances as their own transitions (what a barrier
+        // does); the explore loop bounds how many each node takes.
+        for (NodeId n = 0; n < cfg.nodes; ++n)
+            batches.push_back({Op{OpKind::Epoch, n, 0, 0}});
+    }
     return batches;
+}
+
+/** Epoch advances node @p n has already taken in @p t. */
+unsigned
+epochCount(const Trace &t, NodeId n)
+{
+    unsigned c = 0;
+    for (const auto &batch : t.batches) {
+        for (const Op &op : batch) {
+            if (op.kind == OpKind::Epoch && op.node == n)
+                ++c;
+        }
+    }
+    return c;
 }
 
 unsigned
@@ -360,6 +397,10 @@ explore(const ExplorerOptions &opt, std::ostream *progress)
         }
 
         for (const auto &batch : batches) {
+            if (batch.size() == 1 &&
+                batch[0].kind == OpKind::Epoch &&
+                epochCount(state, batch[0].node) >= opt.maxPhase)
+                continue; // per-node phase bound reached
             Trace child = state;
             child.batches.push_back(batch);
             unsigned serial = storeCount(state);

@@ -50,6 +50,14 @@ struct ExplorerOptions
     /** Max operations issued per batch (1 = no races). */
     unsigned concurrency = 2;
 
+    /**
+     * Phase-priority only: max epoch advances enumerated per node
+     * (OpKind::Epoch transitions). Epochs only ever grow, so they
+     * must be bounded for the state space to close; 1 already
+     * exercises cross-phase ordering at the home.
+     */
+    unsigned maxPhase = 1;
+
     /** Max batches per trace; 0 = explore until closure. */
     unsigned maxDepth = 0;
 

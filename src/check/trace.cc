@@ -5,10 +5,14 @@
  *   # comments and blank lines are ignored
  *   nodes 3
  *   blocks 1
- *   protocol queuing          (or: nack)
+ *   protocol queuing          (or: nack, phase-priority)
  *   bug none                  (or: skip-reservation, drop-sharer)
  *   batch load n0 b0
  *   batch store n1 b0 v1 | load n2 b0
+ *   batch epoch n1
+ *
+ * `epoch n<k>` advances node k's phase epoch (meaningful under the
+ * phase-priority protocol only; a barrier does this in real runs).
  *
  * Every `batch` line is one synchronous issue point; `|` separates
  * operations issued back-to-back at that instant. Header lines may
@@ -34,6 +38,8 @@ opKindName(OpKind k)
         return "store";
       case OpKind::Flush:
         return "flush";
+      case OpKind::Epoch:
+        return "epoch";
     }
     return "?";
 }
@@ -62,17 +68,16 @@ serializeTrace(const Trace &t)
     os << "# cenju modelcheck trace\n";
     os << "nodes " << t.cfg.nodes << "\n";
     os << "blocks " << t.cfg.blocks << "\n";
-    os << "protocol "
-       << (t.cfg.protocol == ProtocolKind::Queuing ? "queuing"
-                                                   : "nack")
-       << "\n";
+    os << "protocol " << protocolKindName(t.cfg.protocol) << "\n";
     os << "bug " << protoBugName(t.cfg.bug) << "\n";
     for (const auto &batch : t.batches) {
         os << "batch";
         bool first = true;
         for (const Op &op : batch) {
             os << (first ? " " : " | ") << opKindName(op.kind)
-               << " n" << op.node << " b" << op.block;
+               << " n" << op.node;
+            if (op.kind != OpKind::Epoch)
+                os << " b" << op.block;
             if (op.kind == OpKind::Store)
                 os << " v" << op.value;
             first = false;
@@ -97,6 +102,8 @@ parseOp(const std::string &text, Op &op, std::string &err)
         op.kind = OpKind::Store;
     } else if (kind == "flush") {
         op.kind = OpKind::Flush;
+    } else if (kind == "epoch") {
+        op.kind = OpKind::Epoch;
     } else {
         err = "unknown operation '" + kind + "'";
         return false;
@@ -134,7 +141,11 @@ parseOp(const std::string &text, Op &op, std::string &err)
             return false;
         }
     }
-    if (!have_node || !have_block) {
+    if (!have_node) {
+        err = "operation '" + text + "' needs n<id>";
+        return false;
+    }
+    if (!have_block && op.kind != OpKind::Epoch) {
         err = "operation '" + text + "' needs n<id> and b<id>";
         return false;
     }
@@ -177,11 +188,8 @@ parseTrace(const std::string &text, Trace &out, std::string &err)
         } else if (key == "protocol") {
             std::string p;
             ls >> p;
-            if (p == "queuing") {
-                out.cfg.protocol = ProtocolKind::Queuing;
-            } else if (p == "nack") {
-                out.cfg.protocol = ProtocolKind::Nack;
-            } else {
+            if (!protocolKindFromName(p.c_str(),
+                                      out.cfg.protocol)) {
                 return fail("unknown protocol '" + p + "'");
             }
         } else if (key == "bug") {
@@ -231,7 +239,8 @@ parseTrace(const std::string &text, Trace &out, std::string &err)
                       std::to_string(out.cfg.nodes);
                 return false;
             }
-            if (op.block >= out.cfg.blocks) {
+            if (op.kind != OpKind::Epoch &&
+                op.block >= out.cfg.blocks) {
                 err = "operation references block " +
                       std::to_string(op.block) + " of " +
                       std::to_string(out.cfg.blocks);

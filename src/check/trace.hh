@@ -31,6 +31,7 @@ enum class OpKind : std::uint8_t
     Load,  ///< 64-bit load of the block's first word
     Store, ///< 64-bit store of a fresh serial to the first word
     Flush, ///< evict the block as a replacement would (writeback)
+    Epoch, ///< advance the node's phase epoch (phase-priority only)
 };
 
 const char *opKindName(OpKind k);
@@ -40,7 +41,7 @@ struct Op
 {
     OpKind kind = OpKind::Load;
     NodeId node = 0;          ///< issuing node
-    unsigned block = 0;       ///< logical block index
+    unsigned block = 0;       ///< logical block index (not Epoch)
     std::uint64_t value = 0;  ///< store serial (Store only)
 };
 

@@ -327,6 +327,10 @@ DsmSystem::replayTrace(const check::Trace &t)
                 m.flushBlock(addr);
                 st.done = true;
                 break;
+              case check::OpKind::Epoch:
+                _nodes[op.node]->policy().advanceEpoch();
+                st.done = true;
+                break;
             }
         }
         _eq.run();

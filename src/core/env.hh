@@ -316,6 +316,12 @@ class Env
             Tick t0 = now();
             _sync.barrier([this, t0, done = std::move(done)] {
                 syncTime += now() - t0;
+                // A barrier is a phase boundary (src/policy/): the
+                // phase-priority backend orders conflicting
+                // requests by this epoch. Advancing inside the
+                // completion callback schedules nothing, so the
+                // other backends are bit-identically unaffected.
+                _node.policy().advanceEpoch();
                 done();
             });
         });

@@ -36,6 +36,7 @@ makeStressCase(std::uint64_t seed, const StressOptions &opts)
     StressCase c;
     c.nodes = opts.nodes;
     c.transport = opts.transport;
+    c.protocol = opts.protocol;
     c.bug = opts.bug;
     // Small crosspoint buffers tighten back-pressure so fault
     // windows actually bite.
@@ -128,6 +129,7 @@ runStressCase(const StressCase &c, std::uint64_t eventBudget,
     cfg.xbCapacity = c.xbCapacity;
     cfg.transport = c.transport;
     cfg.shards = shards;
+    cfg.proto.protocol = c.protocol;
     cfg.proto.injectBug = c.bug;
     // The harness owns checking (Collect mode, so a violating run
     // finishes and can be shrunk); keep the system's Panic checker
@@ -354,6 +356,7 @@ serializeCase(const StressCase &c)
     os << "nodes " << c.nodes << "\n";
     os << "xbcap " << c.xbCapacity << "\n";
     os << "transport " << transportKindName(c.transport) << "\n";
+    os << "protocol " << protocolKindName(c.protocol) << "\n";
     os << "bug " << protoBugName(c.bug) << "\n";
     os << "pattern " << stressPatternName(c.workload.pattern)
        << "\n";
@@ -378,6 +381,11 @@ applyCaseKey(StressCase &c, const std::string &key,
     else if (key == "transport") {
         if (!transportKindFromName(value.c_str(), c.transport)) {
             err = "bad transport name: " + value;
+            return false;
+        }
+    } else if (key == "protocol") {
+        if (!protocolKindFromName(value.c_str(), c.protocol)) {
+            err = "bad protocol name: " + value;
             return false;
         }
     } else if (key == "bug") {

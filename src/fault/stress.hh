@@ -48,6 +48,12 @@ struct StressCase
      * the CENJU_TRANSPORT environment.
      */
     TransportKind transport = TransportKind::Multistage;
+    /**
+     * Coherence backend. Pinned to queuing by default — NOT
+     * defaultProtocolKind() — for the same reason as transport: the
+     * committed goldens must not depend on CENJU_PROTOCOL.
+     */
+    ProtocolKind protocol = ProtocolKind::Queuing;
     ProtoBug bug = ProtoBug::None;
     StressWorkload workload;
     FaultPlan plan;
@@ -59,6 +65,8 @@ struct StressOptions
     unsigned nodes = 16;
     /** Interconnect backend (multistage unless asked otherwise). */
     TransportKind transport = TransportKind::Multistage;
+    /** Coherence backend (queuing unless asked otherwise). */
+    ProtocolKind protocol = ProtocolKind::Queuing;
     ProtoBug bug = ProtoBug::None;
     bool patternFixed = false; ///< use @ref pattern, don't draw one
     StressPattern pattern = StressPattern::SharingHeavy;
@@ -130,8 +138,8 @@ StressCase shrinkCase(const StressCase &failing,
 std::string serializeCase(const StressCase &c);
 
 /**
- * Apply one reproducer key (nodes, xbcap, transport, bug, pattern,
- * blocks, ops, rounds, wseed) to @p c. Shared by parseCase and the
+ * Apply one reproducer key (nodes, xbcap, transport, protocol, bug,
+ * pattern, blocks, ops, rounds, wseed) to @p c. Shared by parseCase and the
  * tools' --set key=value overrides, so the override vocabulary is
  * exactly the serialized-case vocabulary.
  * @retval false with @p err set on an unknown key or bad value

@@ -62,6 +62,28 @@ class MsgQueue
             _highWater = _q.size();
     }
 
+    /**
+     * Insert at position @p pos (0 = new head, size() = append),
+     * panicking on overflow like push(). Policy backends that park
+     * in priority order (src/policy/) use this; plain FIFO callers
+     * keep using push().
+     */
+    void
+    insertAt(std::size_t pos, T item)
+    {
+        if (full()) {
+            panic("%s overflow: %zu entries", _name.c_str(),
+                  _capacity);
+        }
+        if (pos > _q.size())
+            panic("%s: insertAt(%zu) past tail %zu", _name.c_str(),
+                  pos, _q.size());
+        _q.insert(_q.begin() + static_cast<std::ptrdiff_t>(pos),
+                  std::move(item));
+        if (_q.size() > _highWater)
+            _highWater = _q.size();
+    }
+
     /** Head element. @pre !empty() */
     T &
     front()

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The three shipped coherence-policy backends (docs/ARCHITECTURE.md
+ * "Protocol policies").
+ *
+ * queuing        — the paper's starvation-free discipline: park
+ *                  conflicts FIFO in the home's main-memory queue,
+ *                  reservation bit on the head's block.
+ * nack           — the DASH-style baseline: bounce conflicts, the
+ *                  master retries after a delay.
+ * phase-priority — park conflicts sorted by the phase epoch their
+ *                  request carries (FIFO within a phase), so a
+ *                  straggler from an earlier phase overtakes parked
+ *                  requests from later phases at the home.
+ *
+ * The parking backends share one queue-scan routine; the queue is
+ * kept in service order by construction, so the scan — and every
+ * reservation invariant the checker enforces — is identical for
+ * both.
+ */
+
+#include "policy/policy.hh"
+
+#include "sim/logging.hh"
+
+namespace cenju
+{
+
+namespace
+{
+
+/**
+ * Common scan for policies that park conflicts (section 3.3): after
+ * a reservation-triggered reply, serve parked requests head-first
+ * until one's block is still pending (re-arm the reservation on it
+ * and stop) or the queue drains.
+ */
+class ParkingPolicy : public CoherencePolicy
+{
+  public:
+    Tick
+    onReplyCompleted(HomeCtx &h, Tick t) override
+    {
+        while (h.parkedCount() != 0) {
+            if (h.headBlockPending()) {
+                h.setBlockReservation(h.headAddr(), true);
+                return t;
+            }
+            t = h.serveHead(t);
+        }
+        return t;
+    }
+
+    void
+    onNack(MasterCtx &, unsigned slot) override
+    {
+        panic("%s policy: unexpected nack for MSHR %u", name(),
+              slot);
+    }
+};
+
+/** Cenju-4 queuing protocol: FIFO park, reservation on the head. */
+class QueuingPolicy final : public ParkingPolicy
+{
+  public:
+    ProtocolKind kind() const override
+    {
+        return ProtocolKind::Queuing;
+    }
+
+    Tick
+    onHomeConflict(HomeCtx &h, Addr addr, std::uint32_t,
+                   Tick t) override
+    {
+        bool was_empty = h.parkedCount() == 0;
+        t = h.parkConflictAt(h.parkedCount(), t);
+        if (was_empty && !h.reservationBugActive()) {
+            // The request sits at the top of the queue: mark its
+            // block so the completing reply triggers the scan.
+            h.setBlockReservation(addr, true);
+        }
+        return t;
+    }
+};
+
+/** DASH-style baseline: bounce the conflict, master retries. */
+class NackPolicy final : public CoherencePolicy
+{
+  public:
+    ProtocolKind kind() const override { return ProtocolKind::Nack; }
+
+    Tick
+    onHomeConflict(HomeCtx &h, Addr, std::uint32_t, Tick t) override
+    {
+        return h.sendNack(t);
+    }
+
+    Tick
+    onReplyCompleted(HomeCtx &, Tick) override
+    {
+        // Nothing is ever parked, so no reservation bit is ever
+        // set and the engine's fast path never reaches here.
+        panic("nack policy: reservation-triggered scan");
+    }
+
+    void
+    onNack(MasterCtx &m, unsigned slot) override
+    {
+        m.scheduleNackRetry(slot);
+    }
+};
+
+/**
+ * Phase-priority arbitration: park the conflict *sorted* by its
+ * phase epoch (stable: FIFO among equal epochs), so the home serves
+ * same-block conflicts phase-order-first instead of arrival-order.
+ * The queue stays in service order, which keeps the shared scan and
+ * the reservation-on-head invariant intact; parking in front of the
+ * old head moves the reservation to the new head's block.
+ */
+class PhasePriorityPolicy final : public ParkingPolicy
+{
+  public:
+    ProtocolKind kind() const override
+    {
+        return ProtocolKind::PhasePriority;
+    }
+
+    Tick
+    onHomeConflict(HomeCtx &h, Addr addr, std::uint32_t epoch,
+                   Tick t) override
+    {
+        std::size_t n = h.parkedCount();
+        std::size_t pos = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (epoch < h.parkedEpochAt(i)) {
+                pos = i;
+                break;
+            }
+        }
+        Addr old_head = n != 0 ? h.parkedAddrAt(0) : 0;
+        t = h.parkConflictAt(pos, t);
+        if (h.reservationBugActive())
+            return t;
+        if (n == 0) {
+            h.setBlockReservation(addr, true);
+        } else if (pos == 0 && old_head != addr) {
+            // The conflict overtook the old head and waits on a
+            // different block: the reservation discipline (the bit
+            // sits on the head's block only) moves with the head.
+            h.setBlockReservation(old_head, false);
+            h.setBlockReservation(addr, true);
+        }
+        return t;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<CoherencePolicy>
+makePolicy(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Queuing:
+        return std::make_unique<QueuingPolicy>();
+      case ProtocolKind::Nack:
+        return std::make_unique<NackPolicy>();
+      case ProtocolKind::PhasePriority:
+        return std::make_unique<PhasePriorityPolicy>();
+    }
+    panic("makePolicy: unknown protocol kind %d",
+          static_cast<int>(kind));
+}
+
+} // namespace cenju

@@ -132,6 +132,14 @@ class CohPacket : public Packet, public Pooled<CohPacket>
     /** Master's outstanding-request slot, echoed in the grant. */
     std::uint8_t mshr = 0;
 
+    /**
+     * Phase epoch of the issuing master at send time (src/policy/):
+     * the phase-priority backend orders same-block conflicts by it
+     * at the home; the other backends ignore it. Rides in the
+     * existing 16-byte header, so wireSize() is unchanged.
+     */
+    std::uint32_t reqEpoch = 0;
+
     /** Block payload (WriteBack, SlaveData, data grants). */
     bool hasData = false;
     Block data;

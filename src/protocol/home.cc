@@ -188,45 +188,95 @@ HomeModule::handleRequest(const CohPacket &pkt, Tick t)
     DirectoryEntry &e = entryFor(pkt.addr);
 
     if (isPending(e.state())) {
-        if (_node.cfg().protocol == ProtocolKind::Nack) {
-            ++nacksSent;
-            auto nack = makeCohPacket(CohMsgType::Nack, _node.id(),
-                                      pkt.master, pkt.addr,
-                                      pkt.master, pkt.mshr);
-            emitAt(t, std::move(nack));
-            return t;
-        }
-        // Queuing protocol: park the request in main memory. An
-        // ownership request is converted to read-exclusive first
-        // (appendix): by the time it is served the master's copy
-        // may be gone.
-        CohMsgType queued_type = pkt.type == CohMsgType::Ownership
-            ? CohMsgType::ReadExclusive
-            : pkt.type;
-        return queueRequest(queued_type, pkt.addr, pkt.master,
-                            pkt.mshr, t);
+        // Conflict: stage the request for the policy backend
+        // (src/policy/). An ownership request is converted to
+        // read-exclusive first (appendix): by the time it is served
+        // the master's copy may be gone.
+        _conflict = QueuedReq{pkt.type == CohMsgType::Ownership
+                                  ? CohMsgType::ReadExclusive
+                                  : pkt.type,
+                              pkt.addr, pkt.master, pkt.mshr,
+                              pkt.reqEpoch};
+        return _node.policy().onHomeConflict(*this, pkt.addr,
+                                             pkt.reqEpoch, t);
     }
 
     return handleRequestAs(pkt.type, pkt.addr, pkt.master, pkt.mshr,
                            t);
 }
 
+// --- HomeCtx: the mechanism the policy backends steer ---------------
+
+std::size_t
+HomeModule::parkedCount()
+{
+    return _reqQueue.size();
+}
+
+std::uint32_t
+HomeModule::parkedEpochAt(std::size_t i)
+{
+    return _reqQueue.items()[i].epoch;
+}
+
+Addr
+HomeModule::parkedAddrAt(std::size_t i)
+{
+    return _reqQueue.items()[i].addr;
+}
+
 Tick
-HomeModule::queueRequest(CohMsgType type, Addr addr, NodeId master,
-                         std::uint8_t mshr, Tick t)
+HomeModule::parkConflictAt(std::size_t pos, Tick t)
 {
     t += _node.timing().memoryQueueAccess;
-    bool was_empty = _reqQueue.empty();
-    _reqQueue.push(QueuedReq{type, addr, master, mshr});
+    _reqQueue.insertAt(pos, _conflict);
     ++requestsQueued;
     queueWaitDepth.sample(static_cast<double>(_reqQueue.size()));
-    if (was_empty &&
-        _node.cfg().injectBug != ProtoBug::SkipReservation) {
-        // The request sits at the top of the queue: mark its block
-        // so the completing reply triggers the queue scan.
-        entryFor(addr).setReservation(true);
-    }
     return t;
+}
+
+Tick
+HomeModule::sendNack(Tick t)
+{
+    ++nacksSent;
+    auto nack = makeCohPacket(CohMsgType::Nack, _node.id(),
+                              _conflict.master, _conflict.addr,
+                              _conflict.master, _conflict.mshr);
+    emitAt(t, std::move(nack));
+    return t;
+}
+
+void
+HomeModule::setBlockReservation(Addr addr, bool on)
+{
+    entryFor(addr).setReservation(on);
+}
+
+bool
+HomeModule::headBlockPending()
+{
+    return isPending(entryFor(_reqQueue.front().addr).state());
+}
+
+Addr
+HomeModule::headAddr()
+{
+    return _reqQueue.front().addr;
+}
+
+Tick
+HomeModule::serveHead(Tick t)
+{
+    QueuedReq req = _reqQueue.pop();
+    t += _node.timing().memoryQueueAccess;
+    return handleRequestAs(req.type, req.addr, req.master, req.mshr,
+                           t + _node.timing().directoryAccess);
+}
+
+bool
+HomeModule::reservationBugActive()
+{
+    return _node.cfg().injectBug == ProtoBug::SkipReservation;
 }
 
 Tick
@@ -554,28 +604,16 @@ HomeModule::handleInvAck(const CohPacket &pkt, Tick t)
 Tick
 HomeModule::afterReply(Addr addr, Tick t)
 {
+    // Fast path — stays inline and policy-free: the vast majority
+    // of replies complete blocks without a reservation, and the
+    // policy is only consulted when parked work must resume
+    // (docs/PERF.md: the seam's virtual dispatch is off the inner
+    // loop).
     DirectoryEntry &e = entryFor(addr);
     if (!e.reservation())
         return t;
     e.setReservation(false);
-
-    // Section 3.3 queue scan: serve queued requests until one's
-    // block is still pending (park: set its reservation) or the
-    // queue drains.
-    while (!_reqQueue.empty()) {
-        QueuedReq &head = _reqQueue.front();
-        DirectoryEntry &he = entryFor(head.addr);
-        if (isPending(he.state())) {
-            he.setReservation(true);
-            return t;
-        }
-        QueuedReq req = _reqQueue.pop();
-        t += _node.timing().memoryQueueAccess;
-        t = handleRequestAs(req.type, req.addr, req.master,
-                            req.mshr,
-                            t + _node.timing().directoryAccess);
-    }
-    return t;
+    return _node.policy().onReplyCompleted(*this, t);
 }
 
 } // namespace cenju

@@ -23,6 +23,7 @@
 
 #include "directory/directory.hh"
 #include "memory/msg_queue.hh"
+#include "policy/policy.hh"
 #include "protocol/coh_msg.hh"
 #include "sim/hashing.hh"
 #include "sim/stats.hh"
@@ -33,17 +34,23 @@ namespace cenju
 
 class DsmNode;
 
-/** A request parked in the home's main-memory queue (64 bits). */
+/** A request parked in the home's main-memory queue. */
 struct QueuedReq
 {
     CohMsgType type;
     Addr addr;
     NodeId master;
     std::uint8_t mshr;
+    std::uint32_t epoch; ///< phase epoch at issue (src/policy/)
 };
 
-/** Directory-side protocol engine of one node. */
-class HomeModule
+/**
+ * Directory-side protocol engine of one node. Implements the
+ * HomeCtx mechanism interface so the node's CoherencePolicy
+ * (src/policy/, docs/ARCHITECTURE.md "Protocol policies") can steer
+ * the conflict discipline without seeing protocol message types.
+ */
+class HomeModule : public HomeCtx
 {
   public:
     explicit HomeModule(DsmNode &node);
@@ -154,12 +161,25 @@ class HomeModule
      */
     Tick handleAtomic(const CohPacket &pkt, Tick t);
 
-    /** Park a request in the memory queue (queuing protocol). */
-    Tick queueRequest(CohMsgType type, Addr addr, NodeId master,
-                      std::uint8_t mshr, Tick t);
-
-    /** Reservation-bit-driven scan after a reply (section 3.3). */
+    /**
+     * Reservation check after a reply (section 3.3): when the
+     * completing block's entry carried the reservation bit, hand
+     * control to the policy's queue scan.
+     */
     Tick afterReply(Addr addr, Tick t);
+
+    // --- HomeCtx (mechanism the policy backends steer) ------------
+
+    std::size_t parkedCount() override;
+    std::uint32_t parkedEpochAt(std::size_t i) override;
+    Addr parkedAddrAt(std::size_t i) override;
+    Tick parkConflictAt(std::size_t pos, Tick t) override;
+    Tick sendNack(Tick t) override;
+    void setBlockReservation(Addr addr, bool on) override;
+    bool headBlockPending() override;
+    Addr headAddr() override;
+    Tick serveHead(Tick t) override;
+    bool reservationBugActive() override;
 
     /**
      * Launch the invalidation round for @p addr at busy-offset
@@ -176,6 +196,10 @@ class HomeModule
     DsmNode &_node;
     Directory _dir;
     MsgQueue<QueuedReq> _reqQueue;
+
+    /** The conflicting request staged for the policy backend
+     * between handleRequest() and parkConflictAt()/sendNack(). */
+    QueuedReq _conflict{};
     std::unordered_map<Addr, PendingOp, U64MixHash> _pending;
     std::deque<std::unique_ptr<CohPacket>> _input;
     std::deque<WaitingMulticast> _gatherWait;

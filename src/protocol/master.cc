@@ -429,6 +429,9 @@ MasterModule::sendRequest(unsigned slot)
     auto pkt = makeCohPacket(m.reqType, _node.id(), home,
                              m.blockAddr, _node.id(),
                              static_cast<std::uint8_t>(slot));
+    // Stamp the issuing phase epoch (src/policy/): the
+    // phase-priority backend orders same-block conflicts by it.
+    pkt->reqEpoch = _node.policy().epoch();
     // The request leaves after the miss-detection overhead.
     _node.eq().scheduleAfter(
         _node.timing().masterOverhead,
@@ -520,17 +523,20 @@ MasterModule::handleGrant(const CohPacket &pkt)
             return;
         }
       case CohMsgType::Nack:
-        {
-            ++nackRetries;
-            _node.eq().scheduleAfter(
-                _node.timing().nackRetryDelay,
-                [this, slot] { sendRequest(slot); });
-            return;
-        }
+        _node.policy().onNack(*this, slot);
+        return;
       default:
         panic("node %u: unexpected grant type %s", _node.id(),
               cohMsgTypeName(pkt.type));
     }
+}
+
+void
+MasterModule::scheduleNackRetry(unsigned slot)
+{
+    ++nackRetries;
+    _node.eq().scheduleAfter(_node.timing().nackRetryDelay,
+                             [this, slot] { sendRequest(slot); });
 }
 
 void

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "policy/policy.hh"
 #include "protocol/cache.hh"
 #include "protocol/coh_msg.hh"
 #include "sim/stats.hh"
@@ -40,8 +41,12 @@ enum class AccessClass
     SharedRemote,
 };
 
-/** Processor-side protocol engine of one node. */
-class MasterModule
+/**
+ * Processor-side protocol engine of one node. Implements the
+ * MasterCtx mechanism interface so the node's CoherencePolicy can
+ * steer the nack-retry discipline (src/policy/).
+ */
+class MasterModule : public MasterCtx
 {
   public:
     /**
@@ -166,6 +171,10 @@ class MasterModule
     void replayDeferred(Addr block_addr);
     void sendRequest(unsigned slot);
     void complete(unsigned slot, std::uint64_t load_value);
+
+    // --- MasterCtx (mechanism the policy backends steer) ----------
+
+    void scheduleNackRetry(unsigned slot) override;
 
     /**
      * Install @p data into the cache for @p mshr's block in @p state;

@@ -11,18 +11,12 @@
 #include <vector>
 
 #include "directory/node_map.hh"
+#include "policy/kind.hh"
 #include "sim/timing.hh"
 #include "sim/types.hh"
 
 namespace cenju
 {
-
-/** Coherence-protocol flavour. */
-enum class ProtocolKind
-{
-    Queuing, ///< Cenju-4: park conflicting requests in memory
-    Nack,    ///< DASH-style: negative-acknowledge and retry
-};
 
 /**
  * Deliberate protocol bugs, injectable so the checking subsystem
@@ -50,8 +44,13 @@ const char *protoBugName(ProtoBug b);
 /** Per-node protocol and cache parameters. */
 struct ProtocolConfig
 {
-    /** Protocol flavour (Figure 6 comparison). */
-    ProtocolKind protocol = ProtocolKind::Queuing;
+    /**
+     * Protocol flavour (Figure 6 comparison): the coherence-policy
+     * backend (src/policy/, docs/ARCHITECTURE.md "Protocol
+     * policies"), overridable per process with
+     * CENJU_PROTOCOL=queuing|nack|phase-priority.
+     */
+    ProtocolKind protocol = defaultProtocolKind();
 
     /** Directory node-map scheme. */
     NodeMapKind directoryScheme =

@@ -1,0 +1,11 @@
+// Fixture: the policy layer may include sim/ only — reaching back
+// into the engines (L001) would invert the protocol-policy seam.
+// Line numbers are asserted by test_lint.cc.
+#include "protocol/home.hh"
+#include "node/dsm_node.hh"
+#include "sim/types.hh"
+
+namespace cenju
+{
+void policyFixture() {}
+} // namespace cenju

@@ -1,0 +1,13 @@
+// Clean counterpart: a policy file exercising exactly the edge the
+// DAG sanctions (policy -> sim). Must produce no diagnostics.
+#ifndef FIXTURE_POLICY_CLEAN_HH
+#define FIXTURE_POLICY_CLEAN_HH
+
+#include "sim/types.hh"
+
+namespace cenju
+{
+inline int cleanPolicyFixture() { return 0; }
+} // namespace cenju
+
+#endif

@@ -104,6 +104,8 @@ describe(const Finding &f)
  */
 const std::multiset<Finding> kExpected = {
     {"src/memory/store.cc", 10, "D003"},
+    {"src/policy/bad_reach.cc", 4, "L001"},
+    {"src/policy/bad_reach.cc", 5, "L001"},
     {"src/protocol/bad_layering.cc", 4, "L001"},
     {"src/protocol/bad_layering.cc", 5, "L001"},
     {"src/sim/alloc_bad.hh", 17, "A001"},
@@ -155,7 +157,8 @@ TEST(Lint, CleanCounterpartsStaySilent)
     std::string fx = CENJU_LINT_FIXTURES;
     for (const char *f :
          {"/src/sim/alloc_clean.hh", "/src/sim/det_clean.cc",
-          "/src/transport/multistage.hh", "/src/memory/store.hh"}) {
+          "/src/transport/multistage.hh", "/src/memory/store.hh",
+          "/src/policy/clean_policy.hh"}) {
         RunResult r = runLint("--repo-root " + fx + " " + fx + f);
         EXPECT_EQ(r.exitCode, 0) << f;
         EXPECT_TRUE(r.lines.empty()) << f << ": " << r.lines[0];

@@ -236,6 +236,9 @@ TEST(Replay, DsmSystemCleanTrace)
 
     SystemConfig sc;
     sc.numNodes = 2;
+    // replayTrace demands the system match the trace header, and
+    // traces pin their protocol — so must the replaying system.
+    sc.proto.protocol = t.cfg.protocol;
     sc.proto.runtimeChecks = true;
     DsmSystem sys(sc);
     EXPECT_TRUE(sys.replayTrace(t));
@@ -257,6 +260,7 @@ TEST(ReplayDeathTest, DsmSystemPanicsOnInjectedBug)
         {
             SystemConfig sc;
             sc.numNodes = 2;
+            sc.proto.protocol = trace.cfg.protocol;
             sc.proto.injectBug = ProtoBug::SkipReservation;
             sc.proto.runtimeChecks = true;
             DsmSystem sys(sc);
@@ -294,7 +298,10 @@ TEST(RuntimeChecker, CleanRunObservesSteps)
  */
 TEST(QueueAudit, RacingStoresAllServedOnce)
 {
-    Sys sys(4);
+    // Queuing pinned: the test reads the requestsQueued counter.
+    ProtocolConfig pc;
+    pc.protocol = ProtocolKind::Queuing;
+    Sys sys(4, pc);
     check::RuntimeChecker ck(sys.nodePtrs());
     for (auto &n : sys.nodes)
         n->setCheckHook(&ck);

@@ -387,7 +387,10 @@ TEST(Protocol, ConcurrentStoresSerialize)
 {
     // All nodes store different values to one block concurrently;
     // every store completes and the final state is consistent.
-    Sys s(8);
+    // Queuing pinned: the test reads the requestsQueued counter.
+    ProtocolConfig pc;
+    pc.protocol = ProtocolKind::Queuing;
+    Sys s(8, pc);
     Addr a = addr_map::makeShared(0, 0x700);
     unsigned done = 0;
     for (NodeId n = 0; n < 8; ++n) {
@@ -405,7 +408,9 @@ TEST(Protocol, ConcurrentStoresSerialize)
 
 TEST(Protocol, QueuingProtocolSendsNoNacks)
 {
-    Sys s(8);
+    ProtocolConfig pc;
+    pc.protocol = ProtocolKind::Queuing;
+    Sys s(8, pc);
     Addr a = addr_map::makeShared(0, 0x700);
     unsigned done = 0;
     for (NodeId n = 0; n < 8; ++n)
@@ -595,7 +600,9 @@ TEST(Protocol, StarvationBoundUnderContention)
     // request is served within a bounded number of queue passes —
     // measured as max completion gap between any two consecutive
     // completions staying finite and the run terminating.
-    Sys s(16);
+    ProtocolConfig pc;
+    pc.protocol = ProtocolKind::Queuing;
+    Sys s(16, pc);
     Addr a = addr_map::makeShared(0, 0);
     unsigned completed = 0;
     // Each node performs 5 stores back-to-back.

@@ -3,7 +3,8 @@
  * Shared command-line plumbing for the tools (modelcheck, stress,
  * sweeprunner): one option-cursor class instead of three hand-rolled
  * argv loops, plus the common option vocabulary — numeric values,
- * transport-backend selection, and key=value overrides.
+ * transport- and protocol-backend selection, and key=value
+ * overrides.
  *
  * Deliberately tiny and exit(2)-on-misuse: these are developer
  * tools, so a missing value or a bad enum name prints what was
@@ -20,6 +21,7 @@
 #include <string>
 #include <thread>
 
+#include "policy/kind.hh"
 #include "transport/transport.hh"
 
 namespace cenju::cli
@@ -109,6 +111,28 @@ transportValue(OptionParser &args)
         std::fprintf(stderr,
                      "unknown transport '%s' (multistage, ideal or "
                      "direct)\n",
+                     s);
+        std::exit(2);
+    }
+    return k;
+}
+
+/** Usage line for tools accepting --protocol. */
+inline constexpr const char *protocolHelp =
+    "  --protocol P     coherence backend: queuing | nack |"
+    " phase-priority\n"
+    "                   (default queuing, or $CENJU_PROTOCOL)\n";
+
+/** Consume a --protocol value; exits(2) on an unknown backend. */
+inline ProtocolKind
+protocolValue(OptionParser &args)
+{
+    const char *s = args.value();
+    ProtocolKind k;
+    if (!protocolKindFromName(s, k)) {
+        std::fprintf(stderr,
+                     "unknown protocol '%s' (queuing, nack or "
+                     "phase-priority)\n",
                      s);
         std::exit(2);
     }

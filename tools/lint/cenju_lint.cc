@@ -51,7 +51,7 @@ namespace fs = std::filesystem;
 namespace
 {
 
-constexpr const char *kCatalogVersion = "2";
+constexpr const char *kCatalogVersion = "3";
 
 // ---------------------------------------------------------------
 // Rule catalog
@@ -110,7 +110,10 @@ knownRule(const std::string &id)
  * (tools/, bench/, tests/, examples/) may include anything.
  *
  * Edges mirror docs/ARCHITECTURE.md: sim/directory/memory/exec are
- * leaves; network and the analytical transports implement the seam;
+ * leaves; policy (the coherence-discipline backends) sits just
+ * above sim and is consumed by protocol and node — it must never
+ * reach back into the engines, hence its single edge;
+ * network and the analytical transports implement the seam;
  * protocol+node+msgpass form one layer group (mutual edges within
  * it are sanctioned); check and fault are cross-cutting observers;
  * core composes everything; workload drives core. The lone
@@ -119,6 +122,7 @@ knownRule(const std::string &id)
  */
 const std::map<std::string, std::set<std::string>> kLayerDag = {
     {"sim", {}},
+    {"policy", {"sim"}},
     {"shard", {"sim", "check"}},
     {"directory", {"sim"}},
     {"memory", {"sim"}},
@@ -127,9 +131,9 @@ const std::map<std::string, std::set<std::string>> kLayerDag = {
     {"transport", {"sim", "directory", "check", "fault",
                    "shard"}},
     {"protocol", {"sim", "directory", "memory", "transport",
-                  "node"}},
+                  "node", "policy"}},
     {"node", {"sim", "memory", "check", "transport", "protocol",
-              "shard"}},
+              "shard", "policy"}},
     {"msgpass", {"sim", "transport", "node", "shard"}},
     {"check", {"sim", "memory", "directory", "network", "transport",
                "node", "protocol"}},
@@ -150,14 +154,14 @@ const std::set<std::string> kSeamFiles = {
 /** Modules whose hot paths must not allocate (docs/PERF.md). */
 const std::set<std::string> kPoolGoverned = {
     "sim", "shard", "network", "transport", "protocol", "node",
-    "msgpass", "memory", "directory",
+    "msgpass", "memory", "directory", "policy",
 };
 
 /** Modules whose behavior feeds the golden digests. */
 const std::set<std::string> kDigestAffecting = {
     "sim", "shard", "network", "transport", "protocol", "node",
     "msgpass", "memory", "directory", "core", "check", "fault",
-    "workload",
+    "workload", "policy",
 };
 
 // ---------------------------------------------------------------

@@ -44,7 +44,10 @@ usage(const char *argv0)
         "  --depth N         max steps per trace, 0=closure "
         "(default 0)\n"
         "  --max-states N    stop after N states, 0=unlimited\n"
-        "  --protocol P      queuing | nack (default queuing)\n"
+        "  --protocol P      queuing | nack | phase-priority "
+        "(default queuing)\n"
+        "  --max-phase N     phase-priority: epoch advances "
+        "enumerated per node (default 1)\n"
         "  --bug B           none | skip-reservation | drop-sharer\n"
         "  --all             keep going after a counterexample\n"
         "  --trace-out FILE  write the first counterexample trace\n"
@@ -131,13 +134,11 @@ main(int argc, char **argv)
             opt.maxStates = args.u64();
         } else if (args.is("--protocol")) {
             std::string p = args.value();
-            if (p == "queuing") {
-                opt.cfg.protocol = ProtocolKind::Queuing;
-            } else if (p == "nack") {
-                opt.cfg.protocol = ProtocolKind::Nack;
-            } else {
+            if (!protocolKindFromName(p.c_str(),
+                                      opt.cfg.protocol))
                 return usage(argv[0]);
-            }
+        } else if (args.is("--max-phase")) {
+            opt.maxPhase = args.u32();
         } else if (args.is("--bug")) {
             std::string b = args.value();
             if (b == "none") {
@@ -174,9 +175,7 @@ main(int argc, char **argv)
     std::printf("exploring %u nodes x %u blocks, protocol=%s, "
                 "bug=%s, concurrency=%u, depth=%s\n",
                 opt.cfg.nodes, opt.cfg.blocks,
-                opt.cfg.protocol == ProtocolKind::Queuing
-                    ? "queuing"
-                    : "nack",
+                protocolKindName(opt.cfg.protocol),
                 protoBugName(opt.cfg.bug), opt.concurrency,
                 opt.maxDepth
                     ? std::to_string(opt.maxDepth).c_str()

@@ -47,11 +47,11 @@ usage(const char *argv0)
         "                   (default: drawn per seed, excluding\n"
         "                   hot-spot)\n"
         "  --bug B          none | skip-reservation | drop-sharer\n"
-        "%s"
+        "%s%s"
         "  --set K=V        override a generated case field, using\n"
         "                   the reproducer keys (nodes, xbcap,\n"
-        "                   transport, bug, pattern, blocks, ops,\n"
-        "                   rounds, wseed); repeatable\n"
+        "                   transport, protocol, bug, pattern,\n"
+        "                   blocks, ops, rounds, wseed); repeatable\n"
         "  --budget N       per-run event budget (default %llu)\n"
         "  --replay S       run seed S twice, compare digests\n"
         "  --replay-file F  rerun a serialized reproducer\n"
@@ -63,7 +63,7 @@ usage(const char *argv0)
         "                   counts, see docs/ARCHITECTURE.md)\n"
         "  --expect-caught  exit 0 iff the sweep found a failure\n"
         "  --out FILE       write the minimal reproducer to FILE\n",
-        argv0, cli::transportHelp,
+        argv0, cli::transportHelp, cli::protocolHelp,
         (unsigned long long)defaultEventBudget);
     return 2;
 }
@@ -242,6 +242,8 @@ main(int argc, char **argv)
                 return usage(argv[0]);
         } else if (args.is("--transport")) {
             opt.gen.transport = cli::transportValue(args);
+        } else if (args.is("--protocol")) {
+            opt.gen.protocol = cli::protocolValue(args);
         } else if (args.is("--set")) {
             std::string key, value;
             if (!cli::splitKeyValue(args.value(), key, value))
@@ -316,11 +318,12 @@ main(int argc, char **argv)
     }
 
     std::printf("sweeping %llu seeds from %llu: nodes=%u bug=%s "
-                "transport=%s\n",
+                "transport=%s protocol=%s\n",
                 (unsigned long long)opt.seeds,
                 (unsigned long long)opt.seedBase, opt.gen.nodes,
                 protoBugName(opt.gen.bug),
-                transportKindName(opt.gen.transport));
+                transportKindName(opt.gen.transport),
+                protocolKindName(opt.gen.protocol));
 
     // With --jobs != 1 the whole sweep runs up front on a worker
     // pool (each run is an independent single-threaded simulation);

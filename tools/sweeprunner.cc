@@ -51,6 +51,7 @@ usage()
         "         --seed-base B  first seed (default 1)\n"
         "         --budget N     per-run event budget\n"
         "         --transport T  multistage | ideal | direct\n"
+        "         --protocol P   queuing | nack | phase-priority\n"
         "         --jobs J       worker threads (default: cores)\n"
         "         --shards N     simulation shards per run\n"
         "                        (default 1; digests bit-identical\n"
@@ -98,6 +99,8 @@ runStressMode(int argc, char **argv)
             budget = args.u64();
         else if (args.is("--transport"))
             opts.transport = cli::transportValue(args);
+        else if (args.is("--protocol"))
+            opts.protocol = cli::protocolValue(args);
         else if (args.is("--jobs"))
             jobs = args.u32();
         else if (args.is("--shards")) {
