@@ -27,6 +27,7 @@
 
 #include "core/dsm_system.hh"
 #include "directory/bit_pattern.hh"
+#include "fault/injector.hh"
 #include "fault/stress.hh"
 #include "memory/address_map.hh"
 #include "network/network.hh"
@@ -461,6 +462,104 @@ benchCohQueuing256(std::uint64_t opsPerNode)
             s};
 }
 
+/**
+ * Reliability-decorator cost (src/reliable/, docs/ARCHITECTURE.md
+ * "Reliability layer"): 64 nodes, each streaming stores to private
+ * blocks homed on its ring neighbor through a deliberately small
+ * cache, so every store's line misses or writes back — a steady
+ * unicast request/reply/writeback load with no multicast or gather
+ * (the decorator's wire normalization is a no-op, isolating the
+ * pure bookkeeping cost). The reliable_off/reliable_e2e pair is the
+ * clean-path overhead gate: acks ride out of band and sequencing
+ * adds no simulated latency, so e2e must stay within 5% of off
+ * (checked in-bench, below). The reliable_goodput_p{16,4,3} points
+ * are the goodput-vs-loss-rate curve: the same workload with every
+ * 16th/4th/3rd arrival dropped (~6%/25%/33% loss), surviving on
+ * retransmit + backoff. The drop counters are deterministic, so an
+ * even period can parity-lock a retransmitted window head onto the
+ * drop phase forever (rightly ending in a dead link) — the curve
+ * uses an odd top-end period to measure recovery, not aliasing. All metrics are simulated-time-derived
+ * (RunStats::execTime — the last node's finish, not the queue
+ * clock, which trailing retransmit timers would pad), so quick and
+ * full runs gate exactly.
+ */
+Result
+benchReliableStores(ReliabilityKind rel, unsigned dropPeriod,
+                    const char *name, std::uint64_t opsPerNode)
+{
+    SystemConfig cfg;
+    cfg.numNodes = 64;
+    cfg.reliability = rel;
+    cfg.proto.runtimeChecks = false;
+    cfg.proto.cacheBytes = 4096; // 32 lines: force wire traffic
+    auto t0 = clk::now();
+    DsmSystem sys(cfg);
+    fault::FaultInjector injector(sys);
+    if (dropPeriod != 0) {
+        fault::FaultPlan plan;
+        for (unsigned n = 0; n < cfg.numNodes; ++n) {
+            fault::FaultEvent e;
+            e.kind = fault::FaultKind::DropMsg;
+            e.start = 0;
+            e.duration = Tick(1) << 40;
+            e.node = n;
+            e.amount = dropPeriod;
+            plan.events.push_back(e);
+        }
+        injector.arm(plan);
+    }
+    constexpr unsigned blocksPerNode = 64; // > cache lines: evicts
+    RunStats rs = sys.run([&](Env &env) -> Task {
+        NodeId home = NodeId((env.id() + 1) % cfg.numNodes);
+        for (std::uint64_t i = 0; i < opsPerNode; ++i) {
+            Addr a = addr_map::makeShared(
+                home, Addr(i % blocksPerNode) * blockBytes);
+            co_await env.store(a, i + 1);
+        }
+    });
+    double s = secondsSince(t0);
+    const std::uint64_t total = cfg.numNodes * opsPerNode;
+    if (rs.execTime == 0)
+        std::fprintf(stderr, "impossible\n");
+    return {name, "stores_per_sim_ms",
+            double(total) * 1e6 / double(rs.execTime), total, s};
+}
+
+Result
+benchReliableOff(std::uint64_t ops)
+{
+    return benchReliableStores(ReliabilityKind::Off, 0,
+                               "reliable_off", ops);
+}
+
+Result
+benchReliableE2e(std::uint64_t ops)
+{
+    return benchReliableStores(ReliabilityKind::E2e, 0,
+                               "reliable_e2e", ops);
+}
+
+Result
+benchReliableGoodputP16(std::uint64_t ops)
+{
+    return benchReliableStores(ReliabilityKind::E2e, 16,
+                               "reliable_goodput_p16", ops);
+}
+
+Result
+benchReliableGoodputP4(std::uint64_t ops)
+{
+    return benchReliableStores(ReliabilityKind::E2e, 4,
+                               "reliable_goodput_p4", ops);
+}
+
+Result
+benchReliableGoodputP3(std::uint64_t ops)
+{
+    return benchReliableStores(ReliabilityKind::E2e, 3,
+                               "reliable_goodput_p3", ops);
+}
+
 // --- JSON output and baseline comparison --------------------------
 
 void
@@ -600,6 +699,14 @@ main(int argc, char **argv)
         // full runs produce the same value, so the quick CI gate
         // checks the queuing conflict path exactly.
         {"coh_queuing_256", benchCohQueuing256, 8},
+        // Reliability decorator: clean-path overhead pair plus the
+        // goodput-vs-loss-rate curve. Simulated-time metrics, so
+        // the quick run gates them exactly too.
+        {"reliable_off", benchReliableOff, 96},
+        {"reliable_e2e", benchReliableE2e, 96},
+        {"reliable_goodput_p16", benchReliableGoodputP16, 96},
+        {"reliable_goodput_p4", benchReliableGoodputP4, 96},
+        {"reliable_goodput_p3", benchReliableGoodputP3, 96},
     };
 
     std::vector<Result> results;
@@ -665,6 +772,38 @@ main(int argc, char **argv)
         }
     }
 
+    // Derived reliability metric and in-bench gate: clean-path
+    // throughput of the decorator over the bare backend. Both
+    // inputs are simulated-time metrics on an identical workload,
+    // so the ratio is deterministic; the decorator's contract is
+    // that exactly-once bookkeeping costs nothing on a clean wire
+    // (acks are out of band), with 5% headroom.
+    bool overheadBad = false;
+    {
+        const Result *off = nullptr, *e2e = nullptr;
+        for (const Result &r : results) {
+            if (r.name == "reliable_off")
+                off = &r;
+            else if (r.name == "reliable_e2e")
+                e2e = &r;
+        }
+        if (off && e2e && off->value > 0) {
+            Result ratio{"reliable_e2e_clean_ratio", "x_off",
+                         e2e->value / off->value, 0, 0};
+            std::printf("%-18s %16s %14.2f %10s\n",
+                        ratio.name.c_str(), ratio.metric.c_str(),
+                        ratio.value, "-");
+            if (ratio.value < 0.95) {
+                std::printf("REGRESSION reliable_e2e: clean-path "
+                            "throughput %.3fx of reliable_off "
+                            "(floor 0.95)\n",
+                            ratio.value);
+                overheadBad = true;
+            }
+            results.push_back(std::move(ratio));
+        }
+    }
+
     if (!outFile.empty())
         writeJson(outFile, results, quick);
 
@@ -698,5 +837,5 @@ main(int argc, char **argv)
         if (bad)
             return 1;
     }
-    return 0;
+    return overheadBad ? 1 : 0;
 }

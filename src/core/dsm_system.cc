@@ -1,6 +1,7 @@
 #include "core/dsm_system.hh"
 
 #include "network/network.hh"
+#include "reliable/reliable_transport.hh"
 #include "shard/sharded_engine.hh"
 #include "transport/factory.hh"
 
@@ -19,6 +20,11 @@ DsmSystem::DsmSystem(const SystemConfig &cfg) : _cfg(cfg)
                       cfg.proto.timing.networkOverhead / 2;
     nc.gatherMergeLatency = cfg.proto.timing.gatherMergeLatency;
     _net = makeTransport(cfg.transport, _eq, nc);
+    if (cfg.reliability == ReliabilityKind::E2e) {
+        // Decorate before anything attaches: nodes bind to the
+        // wrapper, the wrapper's shims bind to the inner fabric.
+        _net = std::make_unique<ReliableTransport>(std::move(_net));
+    }
 
     unsigned shards = std::min(cfg.shards ? cfg.shards : 1u,
                                cfg.numNodes);
@@ -118,6 +124,12 @@ DsmSystem::network()
               _net->name());
     }
     return *net;
+}
+
+ReliableTransport *
+DsmSystem::reliableLayer()
+{
+    return dynamic_cast<ReliableTransport *>(_net.get());
 }
 
 ShmArray

@@ -36,12 +36,14 @@
 #include "exec/task.hh"
 #include "msgpass/msg_engine.hh"
 #include "node/dsm_node.hh"
+#include "reliable/kind.hh"
 #include "sim/event_queue.hh"
 
 namespace cenju
 {
 
 class Network;
+class ReliableTransport;
 
 namespace shard
 {
@@ -66,6 +68,17 @@ struct SystemConfig
      * CENJU_TRANSPORT=multistage|ideal|direct.
      */
     TransportKind transport = defaultTransportKind();
+
+    /**
+     * Delivery-guarantee layer (docs/ARCHITECTURE.md "Reliability
+     * layer"): e2e wraps the transport backend in the go-back-N
+     * reliability decorator, which is what makes the illegal
+     * drop/dup/corrupt fault classes survivable. Off by default,
+     * overridable per process with CENJU_RELIABILITY=off|e2e. The
+     * wrapper has no cross-shard latency floor, so e2e systems
+     * always clamp to one shard.
+     */
+    ReliabilityKind reliability = defaultReliabilityKind();
 
     /**
      * Simulation shards (docs/ARCHITECTURE.md "Sharded parallel
@@ -225,6 +238,13 @@ class DsmSystem
      * transport().
      */
     Network &network();
+
+    /**
+     * The reliability decorator, or nullptr when the system was
+     * built with ReliabilityKind::Off (the stress harness and the
+     * benches read its retransmit/dedup counters through this).
+     */
+    ReliableTransport *reliableLayer();
 
     DsmNode &node(NodeId n) { return *_nodes[n]; }
     Env &env(NodeId n) { return *_envs[n]; }

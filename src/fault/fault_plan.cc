@@ -25,6 +25,12 @@ faultKindName(FaultKind k)
         return "home-stall";
       case FaultKind::GatherHold:
         return "gather-hold";
+      case FaultKind::DropMsg:
+        return "drop-msg";
+      case FaultKind::DupMsg:
+        return "dup-msg";
+      case FaultKind::CorruptPayload:
+        return "corrupt-payload";
     }
     return "?";
 }
@@ -32,7 +38,7 @@ faultKindName(FaultKind k)
 bool
 faultKindFromName(const std::string &s, FaultKind &out)
 {
-    for (unsigned i = 0; i < numFaultKinds; ++i) {
+    for (unsigned i = 0; i < numTotalFaultKinds; ++i) {
         auto k = static_cast<FaultKind>(i);
         if (s == faultKindName(k)) {
             out = k;
@@ -76,10 +82,48 @@ randomPlan(Rng &rng, const PlanShape &shape)
           case FaultKind::GatherHold:
             e.node = unsigned(rng.below(shape.nodes));
             break;
+          case FaultKind::DropMsg:
+          case FaultKind::DupMsg:
+          case FaultKind::CorruptPayload:
+            // Unreachable: the draw above is over the legal kinds
+            // only (loss plans come from randomLossPlan).
+            break;
         }
         plan.events.push_back(e);
     }
     return plan;
+}
+
+FaultPlan
+randomLossPlan(Rng &rng, const PlanShape &shape)
+{
+    FaultPlan plan;
+    auto count = unsigned(
+        rng.range(shape.minEvents, shape.maxEvents));
+    plan.events.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        FaultEvent e;
+        e.kind = static_cast<FaultKind>(
+            numFaultKinds + unsigned(rng.below(numTotalFaultKinds -
+                                               numFaultKinds)));
+        e.start = Tick(rng.below(shape.horizon));
+        e.duration =
+            Tick(rng.range(shape.minDuration, shape.maxDuration));
+        e.node = unsigned(rng.below(shape.nodes));
+        e.amount = 1 + unsigned(rng.below(4)); // loss period 1..4
+        plan.events.push_back(e);
+    }
+    return plan;
+}
+
+bool
+planHasLossFaults(const FaultPlan &plan)
+{
+    for (const FaultEvent &e : plan.events) {
+        if (isLossFault(e.kind))
+            return true;
+    }
+    return false;
 }
 
 std::string
@@ -105,6 +149,11 @@ serializeFaultEvent(const FaultEvent &e)
       case FaultKind::HomeStall:
       case FaultKind::GatherHold:
         os << " node " << e.node;
+        break;
+      case FaultKind::DropMsg:
+      case FaultKind::DupMsg:
+      case FaultKind::CorruptPayload:
+        os << " node " << e.node << " amount " << e.amount;
         break;
     }
     return os.str();

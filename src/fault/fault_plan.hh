@@ -9,11 +9,16 @@
  * stress-case reproducers), and shrunk by dropping events — every
  * subset of a plan is itself a valid plan.
  *
- * Every kind is a delay or a transient capacity squeeze; none
- * reorders messages on a path or drops one, so the protocol's
+ * Every *legal* kind is a delay or a transient capacity squeeze;
+ * none reorders messages on a path or drops one, so the protocol's
  * invariants must hold under any plan (that is the soundness
  * contract the stress harness leans on: a violation under faults is
- * a protocol bug, never an artifact of the harness).
+ * a protocol bug, never an artifact of the harness). The *loss*
+ * kinds (DropMsg/DupMsg/CorruptPayload) break the fabric's delivery
+ * guarantee outright and are therefore only accepted when the
+ * system runs the reliability decorator (src/reliable/), which
+ * restores exactly-once in-order delivery above the loss; the
+ * injector rejects them on bare backends at arm() time.
  */
 
 #ifndef CENJU_FAULT_FAULT_PLAN_HH
@@ -42,9 +47,28 @@ enum class FaultKind : std::uint8_t
     OutputHold,    ///< a node's protocol output pump stalls
     HomeStall,     ///< a home's dispatch pipeline stalls
     GatherHold,    ///< a home's gather unit appears occupied
+
+    // --- illegal (loss) kinds: legal only under the reliability
+    // decorator (src/reliable/, docs/TESTING.md fault taxonomy).
+    // Appended after the legal kinds so the random draw below stays
+    // over [0, numFaultKinds) and committed golden digests hold.
+    DropMsg,        ///< arriving data packets silently discarded
+    DupMsg,         ///< arriving data packets delivered twice
+    CorruptPayload, ///< arriving data packets' checksums damaged
 };
 
+/** Legal kinds only — the range randomPlan() draws from. */
 constexpr unsigned numFaultKinds = 7;
+
+/** Every kind, including the loss kinds (name tables, parsing). */
+constexpr unsigned numTotalFaultKinds = 10;
+
+/** True for the loss kinds, which bare backends must reject. */
+constexpr bool
+isLossFault(FaultKind k)
+{
+    return static_cast<unsigned>(k) >= numFaultKinds;
+}
 
 /** Serialized kind name ("inject-squeeze", ...). */
 const char *faultKindName(FaultKind k);
@@ -91,6 +115,19 @@ struct PlanShape
 
 /** Draw a random plan from @p rng against @p shape. */
 FaultPlan randomPlan(Rng &rng, const PlanShape &shape);
+
+/**
+ * Draw a random *loss* plan (DropMsg/DupMsg/CorruptPayload windows
+ * only) from @p rng against @p shape. Kept separate from
+ * randomPlan() — and fed from its own seed stream — so that opting
+ * a sweep into lossy mode never shifts the legal-fault draws that
+ * committed golden digests depend on. FaultEvent::amount carries
+ * the loss period: act on every amount-th arriving packet.
+ */
+FaultPlan randomLossPlan(Rng &rng, const PlanShape &shape);
+
+/** True if @p plan contains any loss event. */
+bool planHasLossFaults(const FaultPlan &plan);
 
 /** One-line text form ("fault inject-squeeze at 100 dur 2000 ..."). */
 std::string serializeFaultEvent(const FaultEvent &e);

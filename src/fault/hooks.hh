@@ -25,6 +25,18 @@
 namespace cenju::fault
 {
 
+/**
+ * Loss verdict for one delivered packet (illegal faults, legal only
+ * under the reliability decorator — docs/TESTING.md fault taxonomy).
+ */
+enum class LossKind : unsigned char
+{
+    None,      ///< deliver normally
+    Drop,      ///< discard silently (no ack; retransmit recovers)
+    Duplicate, ///< deliver twice (second copy must dedup away)
+    Corrupt,   ///< damage the checksum (detected error, discarded)
+};
+
 /** Adversarial-but-legal perturbation oracle for the network. */
 class FaultHook
 {
@@ -60,6 +72,20 @@ class FaultHook
      * deliveries when the window closes.
      */
     virtual bool deliveryHeld(NodeId dst) = 0;
+
+    /**
+     * Loss verdict for the next data packet arriving at endpoint
+     * @p dst. Consulted only by the reliability decorator
+     * (src/reliable/): bare backends never ask, which is why plans
+     * containing loss faults are rejected unless the decorator is
+     * on. Default: lossless (legacy hooks stay legal-only).
+     */
+    virtual LossKind
+    lossAction(NodeId dst)
+    {
+        (void)dst;
+        return LossKind::None;
+    }
 };
 
 } // namespace cenju::fault

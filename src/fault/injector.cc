@@ -32,7 +32,8 @@ FaultInjector::FaultInjector(DsmSystem &sys)
       _injectSqueeze(sys.numNodes(), 0),
       _xbSqueeze(std::size_t(_stages) * _rows, 0),
       _stallHolds(std::size_t(_stages) * _rows * switchRadix, 0),
-      _deliveryHolds(sys.numNodes(), 0)
+      _deliveryHolds(sys.numNodes(), 0),
+      _loss(std::size_t(sys.numNodes()) * 3)
 {
     _sys.transport().setFaultHook(this);
 }
@@ -71,6 +72,12 @@ faultHome(const FaultEvent &e)
       case FaultKind::HomeStall:
       case FaultKind::GatherHold:
         return e.node;
+      case FaultKind::DropMsg:
+      case FaultKind::DupMsg:
+      case FaultKind::CorruptPayload:
+        // Receiver-side loss windows (and the reliability wrapper
+        // they require clamps to one shard anyway).
+        return e.node;
       case FaultKind::XbSqueeze:
       case FaultKind::SwitchStall:
         // Fabric-wide faults only exist on the multistage backend,
@@ -85,6 +92,22 @@ faultHome(const FaultEvent &e)
 void
 FaultInjector::arm(const FaultPlan &plan)
 {
+    // Loss faults break the fabric's delivery guarantee; only the
+    // reliability decorator makes them survivable, so a plan that
+    // contains them is invalid on a bare backend (docs/TESTING.md
+    // fault taxonomy).
+    if (_sys.config().reliability != ReliabilityKind::E2e) {
+        for (const FaultEvent &e : plan.events) {
+            if (isLossFault(e.kind)) {
+                fatal("fault plan contains the illegal fault '%s', "
+                      "which bare transport backends cannot "
+                      "survive; rerun with --reliability=e2e "
+                      "(reliability decorator, src/reliable/)",
+                      serializeFaultEvent(e).c_str());
+            }
+        }
+    }
+
     // scheduleOnNode puts each open/close on the shard owning the
     // state it mutates; sequentially it is plain scheduleAfter, so
     // the event order — and every golden digest — is unchanged.
@@ -125,6 +148,15 @@ FaultInjector::open(const FaultEvent &e)
       case FaultKind::GatherHold:
         _sys.node(e.node).home().faultHoldGather();
         break;
+      case FaultKind::DropMsg:
+      case FaultKind::DupMsg:
+      case FaultKind::CorruptPayload: {
+        LossWin &w = _loss[std::size_t(e.node) * 3 +
+                           (unsigned(e.kind) - numFaultKinds)];
+        ++w.count;
+        w.period = e.amount; // newest window's period wins
+        break;
+      }
     }
 }
 
@@ -160,6 +192,14 @@ FaultInjector::close(const FaultEvent &e)
       case FaultKind::GatherHold:
         _sys.node(e.node).home().faultReleaseGather();
         break;
+      case FaultKind::DropMsg:
+      case FaultKind::DupMsg:
+      case FaultKind::CorruptPayload:
+        // No kick: the ARQ's retransmit timers recover anything
+        // the closing window lost.
+        --_loss[std::size_t(e.node) * 3 +
+                (unsigned(e.kind) - numFaultKinds)].count;
+        break;
     }
 }
 
@@ -190,6 +230,27 @@ bool
 FaultInjector::deliveryHeld(NodeId dst)
 {
     return _deliveryHolds[dst] > 0;
+}
+
+LossKind
+FaultInjector::lossAction(NodeId dst)
+{
+    // Every active family's packet counter advances on every
+    // arrival (so overlapping windows stay deterministic); when
+    // several fire on the same packet, drop > dup > corrupt.
+    static constexpr LossKind kinds[3] = {
+        LossKind::Drop, LossKind::Duplicate, LossKind::Corrupt};
+    LossKind verdict = LossKind::None;
+    for (unsigned i = 0; i < 3; ++i) {
+        LossWin &w = _loss[std::size_t(dst) * 3 + i];
+        if (w.count == 0)
+            continue;
+        ++w.seen;
+        if (verdict == LossKind::None && w.period != 0 &&
+            w.seen % w.period == 0)
+            verdict = kinds[i];
+    }
+    return verdict;
 }
 
 } // namespace cenju::fault

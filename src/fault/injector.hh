@@ -68,6 +68,7 @@ class FaultInjector : public FaultHook
     bool switchOutputHeld(unsigned stage, unsigned row,
                           unsigned out) override;
     bool deliveryHeld(NodeId dst) override;
+    LossKind lossAction(NodeId dst) override;
 
   private:
     /** Clamp plan coordinates into this system. */
@@ -96,6 +97,23 @@ class FaultInjector : public FaultHook
     std::vector<unsigned> _xbSqueeze;     ///< per (stage,row)
     std::vector<unsigned> _stallHolds;    ///< per (stage,row,port)
     std::vector<unsigned> _deliveryHolds; ///< per node, refcount
+
+    /**
+     * One loss-window family at one node (drop, dup or corrupt):
+     * while count > 0, every period-th arriving data packet is
+     * acted on. Loss faults force the reliability decorator, which
+     * clamps to one shard, so this state is race-free by
+     * construction.
+     */
+    struct LossWin
+    {
+        unsigned count = 0;   ///< open windows (refcount)
+        unsigned period = 1;  ///< act on every period-th packet
+        std::uint64_t seen = 0;
+    };
+
+    /** Indexed node * 3 + (kind - numFaultKinds). */
+    std::vector<LossWin> _loss;
 
     std::atomic<unsigned> _active{0};
     std::atomic<unsigned> _opened{0};

@@ -6,6 +6,9 @@
 #include "core/dsm_system.hh"
 #include "fault/injector.hh"
 #include "network/topology.hh"
+#include "node/dsm_node.hh"
+#include "protocol/cache.hh"
+#include "reliable/reliable_transport.hh"
 #include "shard/sharded_engine.hh"
 #include "sim/rng.hh"
 
@@ -73,6 +76,20 @@ makeStressCase(std::uint64_t seed, const StressOptions &opts)
         shape.rows = 1u << (2 * (stages - 1));
     }
     c.plan = randomPlan(frng, shape);
+
+    c.reliability = opts.reliability;
+    if (opts.lossy) {
+        // Loss events come from their own stream (split 4) so lossy
+        // mode never shifts the legal-fault draws above, and the
+        // fault-free baseline of a lossy case is simply the same
+        // case with the loss events stripped.
+        c.reliability = ReliabilityKind::E2e;
+        Rng lrng = root.split(4);
+        FaultPlan loss = randomLossPlan(lrng, shape);
+        c.plan.events.insert(c.plan.events.end(),
+                             loss.events.begin(),
+                             loss.events.end());
+    }
     return c;
 }
 
@@ -118,6 +135,47 @@ class DigestHook : public check::CheckHook
     std::uint64_t _steps = 0;
 };
 
+/**
+ * Fold every word of @p arr's coherent final value into @p h
+ * (FNV-1a). The coherent value of a block is its M/E cached copy if
+ * one exists, else home memory — the same rule the invariant
+ * checker's clean-value check applies.
+ */
+void
+mixCoherentWords(std::uint64_t &h, DsmSystem &sys,
+                 const std::vector<DsmNode *> &nodes,
+                 const ShmArray &arr)
+{
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        Addr a = arr.addrOf(i);
+        Addr block_addr = blockBase(a);
+        Block val;
+        bool cached = false;
+        for (DsmNode *node : nodes) {
+            const CacheLine *line =
+                node->cache().lookup(block_addr);
+            if (line && (line->state == CacheState::Modified ||
+                         line->state == CacheState::Exclusive)) {
+                val = line->data;
+                cached = true;
+                break;
+            }
+        }
+        if (!cached) {
+            NodeId home = addr_map::homeNode(block_addr);
+            val = sys.node(home).sharedMem().readBlock(
+                addr_map::localBlock(block_addr));
+        }
+        mix(val.w[(a - block_addr) / 8]);
+    }
+}
+
 } // namespace
 
 StressResult
@@ -128,6 +186,7 @@ runStressCase(const StressCase &c, std::uint64_t eventBudget,
     cfg.numNodes = c.nodes;
     cfg.xbCapacity = c.xbCapacity;
     cfg.transport = c.transport;
+    cfg.reliability = c.reliability;
     cfg.shards = shards;
     cfg.proto.protocol = c.protocol;
     cfg.proto.injectBug = c.bug;
@@ -156,6 +215,14 @@ runStressCase(const StressCase &c, std::uint64_t eventBudget,
     sys.transport().setCheckHook(hook);
     if (eng)
         eng->setOrderLimit(eventBudget);
+
+    // A dead link (retry budget exhausted) must become a replayable
+    // failure verdict, not a fatal() — the shrinker needs the run to
+    // return.
+    bool linkDead = false;
+    if (ReliableTransport *rel = sys.reliableLayer())
+        rel->setLinkDeadHandler(
+            [&linkDead](NodeId, NodeId) { linkDead = true; });
 
     FaultInjector injector(sys);
     injector.arm(c.plan);
@@ -219,10 +286,28 @@ runStressCase(const StressCase &c, std::uint64_t eventBudget,
         res.steps = digest.steps();
     }
 
-    if (res.completed)
+    res.linkDead = linkDead;
+    if (res.completed) {
         checker.checkQuiescent();
-    else
+    } else {
         res.stallDiagnosis = check::diagnoseStall(raw);
+        if (linkDead)
+            res.stallDiagnosis =
+                "reliable: a link exhausted its retry budget "
+                "(link declared dead)\n" +
+                res.stallDiagnosis;
+    }
+
+    res.memFingerprint = 14695981039346656037ull;
+    mixCoherentWords(res.memFingerprint, sys, raw, arr);
+    if (sync.size() != 0)
+        mixCoherentWords(res.memFingerprint, sys, raw, sync);
+
+    if (ReliableTransport *rel = sys.reliableLayer()) {
+        res.retransmits = rel->retransmits();
+        res.dupDiscards = rel->dupDiscards();
+        res.checksumRejects = rel->checksumRejects();
+    }
 
     res.violations = checker.violations();
     res.faultWindows = injector.openedWindows();
@@ -351,12 +436,22 @@ shrinkCase(const StressCase &failing, std::uint64_t eventBudget,
 std::string
 serializeCase(const StressCase &c)
 {
+    // The schema is versioned so an old binary rejects a reproducer
+    // it cannot faithfully replay instead of silently dropping
+    // fields. v2 adds the reliability key and loss-fault lines; a
+    // case using neither serializes as v1, byte-identical to before,
+    // so committed reproducers and goldens are untouched.
+    bool v2 = c.reliability != ReliabilityKind::Off ||
+              planHasLossFaults(c.plan);
     std::ostringstream os;
-    os << "stresscase v1\n";
+    os << (v2 ? "stresscase v2\n" : "stresscase v1\n");
     os << "nodes " << c.nodes << "\n";
     os << "xbcap " << c.xbCapacity << "\n";
     os << "transport " << transportKindName(c.transport) << "\n";
     os << "protocol " << protocolKindName(c.protocol) << "\n";
+    if (v2)
+        os << "reliability " << reliabilityKindName(c.reliability)
+           << "\n";
     os << "bug " << protoBugName(c.bug) << "\n";
     os << "pattern " << stressPatternName(c.workload.pattern)
        << "\n";
@@ -386,6 +481,12 @@ applyCaseKey(StressCase &c, const std::string &key,
     } else if (key == "protocol") {
         if (!protocolKindFromName(value.c_str(), c.protocol)) {
             err = "bad protocol name: " + value;
+            return false;
+        }
+    } else if (key == "reliability") {
+        if (!reliabilityKindFromName(value.c_str(),
+                                     c.reliability)) {
+            err = "bad reliability name: " + value;
             return false;
         }
     } else if (key == "bug") {
@@ -420,6 +521,7 @@ parseCase(const std::string &text, StressCase &out, std::string &err)
     std::string line;
     bool sawHeader = false;
     bool sawEnd = false;
+    unsigned schema = 0;
     out = StressCase{};
     out.plan.events.clear();
     while (std::getline(is, line)) {
@@ -431,10 +533,17 @@ parseCase(const std::string &text, StressCase &out, std::string &err)
         if (!sawHeader) {
             std::string version;
             ls >> version;
-            if (key != "stresscase" || version != "v1") {
-                err = "expected 'stresscase v1' header";
+            if (key != "stresscase" ||
+                (version != "v1" && version != "v2")) {
+                // Reject unknown versions loudly: a future schema
+                // may carry fields this binary would silently drop,
+                // making the "reproducer" replay a different case.
+                err = "expected 'stresscase v1' or 'stresscase v2' "
+                      "header, got '" +
+                      line + "'";
                 return false;
             }
+            schema = version == "v1" ? 1 : 2;
             sawHeader = true;
             continue;
         }
@@ -446,8 +555,18 @@ parseCase(const std::string &text, StressCase &out, std::string &err)
             FaultEvent e;
             if (!parseFaultEvent(line, e, err))
                 return false;
+            if (schema < 2 && isLossFault(e.kind)) {
+                err = "loss fault in a v1 reproducer (v2 carries "
+                      "the reliability mode they require): " +
+                      line;
+                return false;
+            }
             out.plan.events.push_back(e);
             continue;
+        }
+        if (schema < 2 && key == "reliability") {
+            err = "'reliability' key in a v1 reproducer: " + line;
+            return false;
         }
         std::string value;
         if (!(ls >> value)) {
@@ -467,6 +586,12 @@ parseCase(const std::string &text, StressCase &out, std::string &err)
     }
     if (out.nodes < 2 || out.workload.blocks == 0) {
         err = "degenerate configuration";
+        return false;
+    }
+    if (planHasLossFaults(out.plan) &&
+        out.reliability != ReliabilityKind::E2e) {
+        err = "plan contains loss faults but reliability is not "
+              "e2e (no bare backend can replay it)";
         return false;
     }
     return true;

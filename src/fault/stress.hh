@@ -30,6 +30,7 @@
 #include "check/invariants.hh"
 #include "fault/fault_plan.hh"
 #include "protocol/proto_config.hh"
+#include "reliable/kind.hh"
 #include "transport/transport.hh"
 #include "workload/stress_patterns.hh"
 
@@ -54,6 +55,13 @@ struct StressCase
      * committed goldens must not depend on CENJU_PROTOCOL.
      */
     ProtocolKind protocol = ProtocolKind::Queuing;
+    /**
+     * Reliability decorator. Pinned off by default — NOT
+     * defaultReliabilityKind() — so committed goldens must not
+     * depend on CENJU_RELIABILITY. Loss faults in @ref plan require
+     * E2e (the injector rejects them on bare backends).
+     */
+    ReliabilityKind reliability = ReliabilityKind::Off;
     ProtoBug bug = ProtoBug::None;
     StressWorkload workload;
     FaultPlan plan;
@@ -67,6 +75,14 @@ struct StressOptions
     TransportKind transport = TransportKind::Multistage;
     /** Coherence backend (queuing unless asked otherwise). */
     ProtocolKind protocol = ProtocolKind::Queuing;
+    /** Reliability decorator (off unless asked otherwise). */
+    ReliabilityKind reliability = ReliabilityKind::Off;
+    /**
+     * Lossy mode: force reliability on, and append a random loss
+     * plan (drop/dup/corrupt windows, drawn from a seed stream
+     * independent of the legal-fault stream) to the case's plan.
+     */
+    bool lossy = false;
     ProtoBug bug = ProtoBug::None;
     bool patternFixed = false; ///< use @ref pattern, don't draw one
     StressPattern pattern = StressPattern::SharingHeavy;
@@ -88,10 +104,25 @@ struct StressResult
     std::uint64_t events = 0;   ///< simulation events executed
     unsigned faultWindows = 0;  ///< fault windows opened
 
+    /**
+     * FNV-1a over the coherent final value of every word of the
+     * stress array (an M/E cached copy wins over home memory). The
+     * lossy oracle compares this against the fault-free run of the
+     * same seed: equal fingerprints certify the reliability layer
+     * hid the loss completely.
+     */
+    std::uint64_t memFingerprint = 0;
+
+    // Reliability-layer activity (zero when the decorator is off).
+    std::uint64_t retransmits = 0;     ///< retransmitted packets
+    std::uint64_t dupDiscards = 0;     ///< duplicates deduplicated
+    std::uint64_t checksumRejects = 0; ///< corrupted packets refused
+    bool linkDead = false; ///< a link exhausted its retry budget
+
     bool
     failed() const
     {
-        return !completed || !violations.empty();
+        return !completed || !violations.empty() || linkDead;
     }
 };
 
@@ -138,8 +169,9 @@ StressCase shrinkCase(const StressCase &failing,
 std::string serializeCase(const StressCase &c);
 
 /**
- * Apply one reproducer key (nodes, xbcap, transport, protocol, bug,
- * pattern, blocks, ops, rounds, wseed) to @p c. Shared by parseCase and the
+ * Apply one reproducer key (nodes, xbcap, transport, protocol,
+ * reliability, bug, pattern, blocks, ops, rounds, wseed) to @p c.
+ * Shared by parseCase and the
  * tools' --set key=value overrides, so the override vocabulary is
  * exactly the serialized-case vocabulary.
  * @retval false with @p err set on an unknown key or bad value

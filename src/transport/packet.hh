@@ -194,6 +194,23 @@ class Packet
      */
     NodeId combineHome = invalidNode;
 
+    /**
+     * Reliability-layer fields (src/reliable/, docs/ARCHITECTURE.md
+     * "Reliability layer"). Dead weight when the decorator is off.
+     * The wrapper normalizes every packet to a plain unicast before
+     * it reaches the inner fabric, stashing the fabric-service flags
+     * (gathered/combinable/combinedReply) in relSavedFlags so the
+     * receive side can restore them before upward delivery.
+     */
+    /** Per-(src,dst) sequence number; 0 means unsequenced. */
+    std::uint32_t relSeq = 0;
+
+    /** Header checksum stamped at send; verified at receive. */
+    std::uint32_t relChecksum = 0;
+
+    /** Stashed flags: bit0 gathered, bit1 combinable, bit2 reply. */
+    std::uint8_t relSavedFlags = 0;
+
     /** Set when injected; used for latency statistics. */
     Tick injectTick = 0;
 

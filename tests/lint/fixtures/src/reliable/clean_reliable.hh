@@ -1,0 +1,16 @@
+// Clean counterpart: a reliable-layer file exercising the edges the
+// DAG sanctions for the decorator (reliable -> sim, transport).
+// Must produce no diagnostics — in particular no L003, proving the
+// directory is registered in the catalog.
+#ifndef FIXTURE_RELIABLE_CLEAN_HH
+#define FIXTURE_RELIABLE_CLEAN_HH
+
+#include "sim/types.hh"
+#include "transport/transport.hh"
+
+namespace cenju
+{
+inline int cleanReliableFixture() { return 0; }
+} // namespace cenju
+
+#endif

@@ -197,5 +197,157 @@ TEST(StressRun, PlansClampToSmallerSystems)
     EXPECT_TRUE(r.violations.empty());
 }
 
+TEST(LossPlan, DrawsOnlyLossKindsFromItsOwnStream)
+{
+    Rng rng(7);
+    PlanShape shape;
+    FaultPlan plan = randomLossPlan(rng, shape);
+    ASSERT_GE(plan.events.size(), shape.minEvents);
+    for (const FaultEvent &e : plan.events) {
+        EXPECT_TRUE(isLossFault(e.kind));
+        EXPECT_GE(e.amount, 1u); // the loss period
+        EXPECT_LE(e.amount, 4u);
+    }
+    EXPECT_TRUE(planHasLossFaults(plan));
+    EXPECT_FALSE(planHasLossFaults(randomPlan(rng, shape)));
+    // The legal draw range must never include a loss kind (that
+    // shift would invalidate every committed golden digest).
+    EXPECT_FALSE(isLossFault(static_cast<FaultKind>(
+        numFaultKinds - 1)));
+    EXPECT_TRUE(isLossFault(FaultKind::DropMsg));
+    EXPECT_TRUE(isLossFault(FaultKind::DupMsg));
+    EXPECT_TRUE(isLossFault(FaultKind::CorruptPayload));
+}
+
+TEST(StressCaseIo, DefaultCaseStillSerializesAsV1)
+{
+    // Committed reproducers and the sweep goldens depend on the v1
+    // byte format; only cases that actually use the reliability
+    // layer may switch to v2.
+    StressCase c = makeStressCase(3, StressOptions{});
+    std::string text = serializeCase(c);
+    EXPECT_EQ(text.rfind("stresscase v1\n", 0), 0u) << text;
+    EXPECT_EQ(text.find("reliability"), std::string::npos);
+}
+
+TEST(StressCaseIo, LossyCaseRoundTripsAsV2)
+{
+    StressOptions opts;
+    opts.lossy = true;
+    StressCase c = makeStressCase(3, opts);
+    ASSERT_EQ(c.reliability, ReliabilityKind::E2e);
+    ASSERT_TRUE(planHasLossFaults(c.plan));
+    std::string text = serializeCase(c);
+    EXPECT_EQ(text.rfind("stresscase v2\n", 0), 0u) << text;
+    EXPECT_NE(text.find("reliability e2e\n"), std::string::npos);
+    StressCase back;
+    std::string err;
+    ASSERT_TRUE(parseCase(text, back, err)) << err;
+    EXPECT_EQ(back.reliability, ReliabilityKind::E2e);
+    EXPECT_EQ(back.plan.events.size(), c.plan.events.size());
+    EXPECT_EQ(serializeCase(back), text);
+}
+
+TEST(StressCaseIo, UnknownSchemaVersionIsRejectedLoudly)
+{
+    StressCase out;
+    std::string err;
+    EXPECT_FALSE(parseCase("stresscase v3\nnodes 4\nend\n", out,
+                           err));
+    // The error must say which versions this binary understands.
+    EXPECT_NE(err.find("v1"), std::string::npos) << err;
+    EXPECT_NE(err.find("v2"), std::string::npos) << err;
+    EXPECT_NE(err.find("v3"), std::string::npos) << err;
+}
+
+TEST(StressCaseIo, V1RejectsLossFaultsNamingTheLine)
+{
+    std::string text = "stresscase v1\n"
+                       "nodes 4\n"
+                       "blocks 2\n"
+                       "fault drop-msg at 100 dur 50 node 1 "
+                       "amount 2\n"
+                       "end\n";
+    StressCase out;
+    std::string err;
+    EXPECT_FALSE(parseCase(text, out, err));
+    EXPECT_NE(err.find("drop-msg"), std::string::npos) << err;
+    EXPECT_FALSE(parseCase("stresscase v1\nreliability e2e\nend\n",
+                           out, err));
+    EXPECT_NE(err.find("reliability"), std::string::npos) << err;
+}
+
+TEST(StressCaseIo, LossFaultsWithoutReliabilityAreInconsistent)
+{
+    std::string text = "stresscase v2\n"
+                       "nodes 4\n"
+                       "blocks 2\n"
+                       "reliability off\n"
+                       "fault corrupt-payload at 100 dur 50 node 1 "
+                       "amount 2\n"
+                       "end\n";
+    StressCase out;
+    std::string err;
+    EXPECT_FALSE(parseCase(text, out, err));
+    EXPECT_NE(err.find("loss faults"), std::string::npos) << err;
+}
+
+TEST(StressCaseIo, ReliabilityKeyAppliesAndValidates)
+{
+    StressCase c;
+    std::string err;
+    ASSERT_TRUE(applyCaseKey(c, "reliability", "e2e", err)) << err;
+    EXPECT_EQ(c.reliability, ReliabilityKind::E2e);
+    ASSERT_TRUE(applyCaseKey(c, "reliability", "off", err)) << err;
+    EXPECT_EQ(c.reliability, ReliabilityKind::Off);
+    EXPECT_FALSE(applyCaseKey(c, "reliability", "tcp", err));
+    EXPECT_NE(err.find("tcp"), std::string::npos);
+}
+
+TEST(LossPlanRejection, BareBackendRefusesLossFaultsAtArmTime)
+{
+    // The injector must reject an illegal plan before the run
+    // starts, naming the offending event, unless the reliability
+    // decorator is on.
+    EXPECT_DEATH(
+        {
+            StressOptions opts;
+            opts.lossy = true;
+            StressCase c = makeStressCase(5, opts);
+            c.reliability = ReliabilityKind::Off;
+            runStressCase(c);
+        },
+        "illegal fault");
+}
+
+TEST(LossyOracle, SeededLossyRunMatchesFaultFreeFinals)
+{
+    // The tentpole oracle in miniature (tools/stress --lossy runs
+    // it at sweep scale): a lossy run's final memory must be
+    // bit-identical to the fault-free run of the same seed.
+    StressOptions lossy;
+    lossy.lossy = true;
+    lossy.patternFixed = true;
+    lossy.pattern = StressPattern::ProducerConsumer;
+    StressOptions clean = lossy;
+    clean.lossy = false;
+    clean.reliability = ReliabilityKind::E2e;
+    for (std::uint64_t seed : {2ull, 17ull, 40ull}) {
+        StressCase cl = makeStressCase(seed, lossy);
+        StressCase cb = makeStressCase(seed, clean);
+        StressResult rl = runStressCase(cl);
+        StressResult rb = runStressCase(cb);
+        ASSERT_TRUE(rl.completed) << rl.stallDiagnosis;
+        ASSERT_TRUE(rb.completed) << rb.stallDiagnosis;
+        EXPECT_TRUE(rl.violations.empty());
+        EXPECT_EQ(rl.memFingerprint, rb.memFingerprint)
+            << "seed " << seed;
+        EXPECT_GT(rl.retransmits + rl.dupDiscards +
+                      rl.checksumRejects,
+                  0u)
+            << "seed " << seed << ": no loss fault ever fired";
+    }
+}
+
 } // namespace
 } // namespace cenju::fault

@@ -158,7 +158,8 @@ TEST(Lint, CleanCounterpartsStaySilent)
     for (const char *f :
          {"/src/sim/alloc_clean.hh", "/src/sim/det_clean.cc",
           "/src/transport/multistage.hh", "/src/memory/store.hh",
-          "/src/policy/clean_policy.hh"}) {
+          "/src/policy/clean_policy.hh",
+          "/src/reliable/clean_reliable.hh"}) {
         RunResult r = runLint("--repo-root " + fx + " " + fx + f);
         EXPECT_EQ(r.exitCode, 0) << f;
         EXPECT_TRUE(r.lines.empty()) << f << ": " << r.lines[0];

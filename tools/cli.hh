@@ -22,6 +22,7 @@
 #include <thread>
 
 #include "policy/kind.hh"
+#include "reliable/kind.hh"
 #include "transport/transport.hh"
 
 namespace cenju::cli
@@ -133,6 +134,27 @@ protocolValue(OptionParser &args)
         std::fprintf(stderr,
                      "unknown protocol '%s' (queuing, nack or "
                      "phase-priority)\n",
+                     s);
+        std::exit(2);
+    }
+    return k;
+}
+
+/** Usage line for tools accepting --reliability. */
+inline constexpr const char *reliabilityHelp =
+    "  --reliability R  delivery guarantee: off | e2e (retransmit\n"
+    "                   decorator over the chosen transport;\n"
+    "                   default off, or $CENJU_RELIABILITY)\n";
+
+/** Consume a --reliability value; exits(2) on an unknown mode. */
+inline ReliabilityKind
+reliabilityValue(OptionParser &args)
+{
+    const char *s = args.value();
+    ReliabilityKind k;
+    if (!reliabilityKindFromName(s, k)) {
+        std::fprintf(stderr,
+                     "unknown reliability mode '%s' (off or e2e)\n",
                      s);
         std::exit(2);
     }

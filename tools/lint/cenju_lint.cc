@@ -51,7 +51,7 @@ namespace fs = std::filesystem;
 namespace
 {
 
-constexpr const char *kCatalogVersion = "3";
+constexpr const char *kCatalogVersion = "4";
 
 // ---------------------------------------------------------------
 // Rule catalog
@@ -115,7 +115,10 @@ knownRule(const std::string &id)
  * reach back into the engines, hence its single edge;
  * network and the analytical transports implement the seam;
  * protocol+node+msgpass form one layer group (mutual edges within
- * it are sanctioned); check and fault are cross-cutting observers;
+ * it are sanctioned); reliable is a transport decorator (it sits
+ * on the backend side of the seam and may only see the transport
+ * surface plus the fault hooks it honors); check and fault are
+ * cross-cutting observers;
  * core composes everything; workload drives core. The lone
  * transport -> network edge is file-scoped (L002): only the
  * multistage backend adapter may name the fabric.
@@ -130,6 +133,7 @@ const std::map<std::string, std::set<std::string>> kLayerDag = {
     {"network", {"sim", "directory", "transport"}},
     {"transport", {"sim", "directory", "check", "fault",
                    "shard"}},
+    {"reliable", {"sim", "transport", "check", "fault"}},
     {"protocol", {"sim", "directory", "memory", "transport",
                   "node", "policy"}},
     {"node", {"sim", "memory", "check", "transport", "protocol",
@@ -139,9 +143,10 @@ const std::map<std::string, std::set<std::string>> kLayerDag = {
                "node", "protocol"}},
     {"core", {"sim", "exec", "memory", "directory", "check",
               "transport", "network", "node", "protocol",
-              "msgpass", "shard"}},
+              "msgpass", "shard", "reliable"}},
     {"fault", {"sim", "core", "check", "network", "protocol",
-               "transport", "workload", "shard"}},
+               "transport", "workload", "shard", "reliable",
+               "node"}},
     {"workload", {"sim", "exec", "core"}},
 };
 
@@ -154,14 +159,14 @@ const std::set<std::string> kSeamFiles = {
 /** Modules whose hot paths must not allocate (docs/PERF.md). */
 const std::set<std::string> kPoolGoverned = {
     "sim", "shard", "network", "transport", "protocol", "node",
-    "msgpass", "memory", "directory", "policy",
+    "msgpass", "memory", "directory", "policy", "reliable",
 };
 
 /** Modules whose behavior feeds the golden digests. */
 const std::set<std::string> kDigestAffecting = {
     "sim", "shard", "network", "transport", "protocol", "node",
     "msgpass", "memory", "directory", "core", "check", "fault",
-    "workload", "policy",
+    "workload", "policy", "reliable",
 };
 
 // ---------------------------------------------------------------

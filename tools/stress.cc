@@ -15,6 +15,7 @@
  *   stress --replay-file repro.case           # rerun a reproducer
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -47,11 +48,16 @@ usage(const char *argv0)
         "                   (default: drawn per seed, excluding\n"
         "                   hot-spot)\n"
         "  --bug B          none | skip-reservation | drop-sharer\n"
-        "%s%s"
+        "%s%s%s"
+        "  --lossy          adversarial loss mode: reliability on,\n"
+        "                   random drop/dup/corrupt windows per\n"
+        "                   seed, finals compared bit-for-bit with\n"
+        "                   the fault-free run of the same seed\n"
         "  --set K=V        override a generated case field, using\n"
         "                   the reproducer keys (nodes, xbcap,\n"
-        "                   transport, protocol, bug, pattern,\n"
-        "                   blocks, ops, rounds, wseed); repeatable\n"
+        "                   transport, protocol, reliability, bug,\n"
+        "                   pattern, blocks, ops, rounds, wseed);\n"
+        "                   repeatable\n"
         "  --budget N       per-run event budget (default %llu)\n"
         "  --replay S       run seed S twice, compare digests\n"
         "  --replay-file F  rerun a serialized reproducer\n"
@@ -64,6 +70,7 @@ usage(const char *argv0)
         "  --expect-caught  exit 0 iff the sweep found a failure\n"
         "  --out FILE       write the minimal reproducer to FILE\n",
         argv0, cli::transportHelp, cli::protocolHelp,
+        cli::reliabilityHelp,
         (unsigned long long)defaultEventBudget);
     return 2;
 }
@@ -85,6 +92,14 @@ printResult(std::uint64_t seed, const StressCase &c,
                 (unsigned long long)r.steps,
                 (unsigned long long)r.events, r.faultWindows,
                 (unsigned long long)r.digest);
+    if (r.retransmits || r.dupDiscards || r.checksumRejects ||
+        r.linkDead)
+        std::printf("  reliable: %llu retransmits, %llu dup "
+                    "discards, %llu checksum rejects%s\n",
+                    (unsigned long long)r.retransmits,
+                    (unsigned long long)r.dupDiscards,
+                    (unsigned long long)r.checksumRejects,
+                    r.linkDead ? ", LINK DEAD" : "");
     for (const check::Violation &v : r.violations) {
         std::printf("  violated [%s] @%llu: %s\n",
                     v.invariant.c_str(),
@@ -214,6 +229,134 @@ replayFromFile(const Options &opt)
     return r.failed() ? 1 : 0;
 }
 
+/** Baseline of a lossy case: the same case, loss events stripped. */
+StressCase
+stripLoss(const StressCase &c)
+{
+    StressCase b = c;
+    b.plan.events.erase(
+        std::remove_if(
+            b.plan.events.begin(), b.plan.events.end(),
+            [](const FaultEvent &e) { return isLossFault(e.kind); }),
+        b.plan.events.end());
+    return b;
+}
+
+struct LossyPair
+{
+    StressResult lossy;
+    StressResult base;
+};
+
+/**
+ * The lossy oracle: every seed runs twice — under its loss plan and
+ * with the loss events stripped — and the final shared memory must
+ * be bit-identical, proving the reliability layer hid every drop,
+ * duplicate and corruption. Pinned to the producer-consumer pattern:
+ * its finals are deterministic, so a fingerprint mismatch is loss
+ * damage, never scheduling noise from racing writers.
+ */
+int
+lossySweep(const Options &optIn)
+{
+    Options opt = optIn;
+    if (opt.gen.patternFixed &&
+        opt.gen.pattern != StressPattern::ProducerConsumer)
+        std::fprintf(stderr,
+                     "note: --lossy pins the producer-consumer "
+                     "pattern (deterministic finals); ignoring "
+                     "--pattern\n");
+    opt.gen.patternFixed = true;
+    opt.gen.pattern = StressPattern::ProducerConsumer;
+
+    std::uint64_t seeds = opt.singleSeed ? 1 : opt.seeds;
+    std::uint64_t base = opt.singleSeed ? opt.seed : opt.seedBase;
+    std::printf("lossy sweep: %llu seeds from %llu, nodes=%u "
+                "transport=%s protocol=%s, finals vs fault-free "
+                "baseline\n",
+                (unsigned long long)seeds,
+                (unsigned long long)base, opt.gen.nodes,
+                transportKindName(opt.gen.transport),
+                protocolKindName(opt.gen.protocol));
+
+    std::vector<LossyPair> sweep(seeds);
+    auto runPair = [&opt](std::uint64_t seed, LossyPair &p) {
+        StressCase c = caseFor(seed, opt);
+        p.lossy = runStressCase(c, opt.budget);
+        p.base = runStressCase(stripLoss(c), opt.budget);
+    };
+    if (opt.jobs != 1) {
+        ThreadPool pool(opt.jobs);
+        for (std::uint64_t i = 0; i < seeds; ++i)
+            pool.submit([i, base, &runPair, &sweep] {
+                runPair(base + i, sweep[i]);
+            });
+        pool.wait();
+    } else {
+        for (std::uint64_t i = 0; i < seeds; ++i)
+            runPair(base + i, sweep[i]);
+    }
+
+    std::uint64_t clean = 0, retx = 0, dups = 0, cksum = 0;
+    for (std::uint64_t i = 0; i < seeds; ++i) {
+        std::uint64_t seed = base + i;
+        const LossyPair &p = sweep[i];
+        retx += p.lossy.retransmits;
+        dups += p.lossy.dupDiscards;
+        cksum += p.lossy.checksumRejects;
+        bool mismatch =
+            p.lossy.memFingerprint != p.base.memFingerprint;
+        bool bad = p.lossy.failed() || p.base.failed() || mismatch;
+        if (opt.singleSeed || bad) {
+            StressCase c = caseFor(seed, opt);
+            printResult(seed, c, p.lossy);
+            std::printf("  finals %s: lossy %016llx vs fault-free "
+                        "%016llx\n",
+                        mismatch ? "DIVERGED" : "match",
+                        (unsigned long long)p.lossy.memFingerprint,
+                        (unsigned long long)p.base.memFingerprint);
+        }
+        if (!bad) {
+            ++clean;
+            continue;
+        }
+        std::printf("FAILING SEED %llu (replay with --lossy "
+                    "--seed %llu)\n",
+                    (unsigned long long)seed,
+                    (unsigned long long)seed);
+        StressCase c = caseFor(seed, opt);
+        if (p.base.failed()) {
+            std::printf("the fault-free baseline itself failed — "
+                        "not a reliability bug:\n");
+            printResult(seed, stripLoss(c), p.base);
+        }
+        if (p.lossy.failed()) {
+            handleFailure(seed, c, opt);
+        } else {
+            // A pure fingerprint divergence: the shrinker's verdict
+            // (failed()) cannot see it, so save the case unshrunk.
+            std::printf("reproducer (replay with --replay-file):"
+                        "\n%s",
+                        serializeCase(c).c_str());
+            if (!opt.outFile.empty()) {
+                std::ofstream out(opt.outFile);
+                out << serializeCase(c);
+                std::printf("reproducer written to %s\n",
+                            opt.outFile.c_str());
+            }
+        }
+        return 1;
+    }
+    std::printf("%llu/%llu lossy seeds clean: finals identical to "
+                "fault-free baselines (%llu retransmits, %llu dup "
+                "discards, %llu checksum rejects)\n",
+                (unsigned long long)clean,
+                (unsigned long long)seeds,
+                (unsigned long long)retx, (unsigned long long)dups,
+                (unsigned long long)cksum);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -244,6 +387,10 @@ main(int argc, char **argv)
             opt.gen.transport = cli::transportValue(args);
         } else if (args.is("--protocol")) {
             opt.gen.protocol = cli::protocolValue(args);
+        } else if (args.is("--reliability")) {
+            opt.gen.reliability = cli::reliabilityValue(args);
+        } else if (args.is("--lossy")) {
+            opt.gen.lossy = true;
         } else if (args.is("--set")) {
             std::string key, value;
             if (!cli::splitKeyValue(args.value(), key, value))
@@ -293,6 +440,16 @@ main(int argc, char **argv)
                      "simulation\")\n");
         opt.shards = 1;
     }
+    if (opt.shards > 1 &&
+        (opt.gen.lossy ||
+         opt.gen.reliability == ReliabilityKind::E2e)) {
+        // The wrapper has no cross-shard latency floor either; clamp
+        // once here instead of warning on every run of a sweep.
+        std::fprintf(stderr,
+                     "note: the reliability decorator runs "
+                     "sequentially; running with 1 shard\n");
+        opt.shards = 1;
+    }
     if (opt.shards > 1 && opt.gen.bug != ProtoBug::None)
         std::fprintf(stderr,
                      "note: sharded runs use quiescent-only "
@@ -305,6 +462,8 @@ main(int argc, char **argv)
         return replayFromFile(opt);
     if (opt.replay)
         return replaySeed(opt);
+    if (opt.gen.lossy)
+        return lossySweep(opt);
 
     if (opt.singleSeed) {
         StressCase c = caseFor(opt.seed, opt);

@@ -52,6 +52,7 @@ usage()
         "         --budget N     per-run event budget\n"
         "         --transport T  multistage | ideal | direct\n"
         "         --protocol P   queuing | nack | phase-priority\n"
+        "         --reliability R  off | e2e (retransmit decorator)\n"
         "         --jobs J       worker threads (default: cores)\n"
         "         --shards N     simulation shards per run\n"
         "                        (default 1; digests bit-identical\n"
@@ -101,6 +102,8 @@ runStressMode(int argc, char **argv)
             opts.transport = cli::transportValue(args);
         else if (args.is("--protocol"))
             opts.protocol = cli::protocolValue(args);
+        else if (args.is("--reliability"))
+            opts.reliability = cli::reliabilityValue(args);
         else if (args.is("--jobs"))
             jobs = args.u32();
         else if (args.is("--shards")) {
@@ -122,6 +125,12 @@ runStressMode(int argc, char **argv)
                      "note: the multistage fabric has no "
                      "cross-shard latency floor; running with 1 "
                      "shard\n");
+        shards = 1;
+    }
+    if (shards > 1 && opts.reliability == ReliabilityKind::E2e) {
+        std::fprintf(stderr,
+                     "note: the reliability decorator runs "
+                     "sequentially; running with 1 shard\n");
         shards = 1;
     }
     jobs = cli::clampJobs(jobs, shards);
